@@ -1,0 +1,167 @@
+//! Closest pair in the plane (Table 1: `O(lg n)` steps on the scan
+//! model, `O(lg² n)` EREW).
+//!
+//! Divide and conquer on the x-sorted order with the classic strip
+//! argument: after solving both halves, only points within `d` of the
+//! dividing line matter, and each needs comparing against a constant
+//! number of y-ordered strip neighbors. The sorts are split radix
+//! sorts; the strip filter is a `pack`; the neighbor comparisons are a
+//! constant number of shifted compares.
+
+use scan_pram::{Ctx, Model};
+
+use crate::sort::radix::split_radix_sort_pairs_ctx;
+
+type Pt = (i64, i64);
+
+/// Squared Euclidean distance.
+#[inline]
+fn d2(a: Pt, b: Pt) -> i64 {
+    (a.0 - b.0).pow(2) + (a.1 - b.1).pow(2)
+}
+
+fn bias(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+/// Closest pair on a step-counting machine. Returns the two points and
+/// their squared distance.
+///
+/// # Panics
+/// If fewer than two points are supplied.
+pub fn closest_pair_ctx(ctx: &mut Ctx, points: &[Pt]) -> (Pt, Pt, i64) {
+    assert!(points.len() >= 2, "need at least two points");
+    // Sort by x (radix), carrying the point index as payload.
+    let xs: Vec<u64> = points.iter().map(|&(x, _)| bias(x)).collect();
+    let idx: Vec<u64> = (0..points.len() as u64).collect();
+    let (_, order) = split_radix_sort_pairs_ctx(ctx, &xs, &idx, 64);
+    let sorted: Vec<Pt> = order.iter().map(|&i| points[i as usize]).collect();
+    ctx.charge_permute_op(points.len());
+    let (a, b, d) = solve(ctx, &sorted);
+    (a, b, d)
+}
+
+fn solve(ctx: &mut Ctx, pts: &[Pt]) -> (Pt, Pt, i64) {
+    let n = pts.len();
+    if n <= 3 {
+        // Constant-size base case.
+        let mut best = (pts[0], pts[1], d2(pts[0], pts[1]));
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d = d2(pts[i], pts[j]);
+                if d < best.2 {
+                    best = (pts[i], pts[j], d);
+                }
+            }
+        }
+        return best;
+    }
+    let mid = n / 2;
+    let mid_x = pts[mid].0;
+    let left = solve(ctx, &pts[..mid]);
+    let right = solve(ctx, &pts[mid..]);
+    let mut best = if left.2 <= right.2 { left } else { right };
+    // Strip: points within the current best distance of the divider.
+    let d_best = best.2;
+    let in_strip: Vec<bool> = ctx.map(pts, move |p| (p.0 - mid_x).pow(2) < d_best);
+    let strip = ctx.pack(pts, &in_strip);
+    if strip.len() >= 2 {
+        // Sort the strip by y and compare each point to its next 7
+        // y-neighbors (the standard packing bound).
+        let ys: Vec<u64> = strip.iter().map(|&(_, y)| bias(y)).collect();
+        let ids: Vec<u64> = (0..strip.len() as u64).collect();
+        let (_, order) = split_radix_sort_pairs_ctx(ctx, &ys, &ids, 64);
+        let by_y: Vec<Pt> = order.iter().map(|&i| strip[i as usize]).collect();
+        ctx.charge_permute_op(strip.len());
+        for k in 1..=7usize {
+            if k >= by_y.len() {
+                break;
+            }
+            // One shifted compare per k: a constant number of vector ops.
+            ctx.charge_permute_op(by_y.len());
+            ctx.charge_elementwise_op(by_y.len());
+            for i in 0..(by_y.len() - k) {
+                let d = d2(by_y[i], by_y[i + k]);
+                if d < best.2 {
+                    best = (by_y[i], by_y[i + k], d);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Closest pair with the default scan-model machine.
+pub fn closest_pair(points: &[Pt]) -> (Pt, Pt, i64) {
+    let mut ctx = Ctx::new(Model::Scan);
+    closest_pair_ctx(&mut ctx, points)
+}
+
+/// Brute-force reference.
+pub fn closest_pair_reference(points: &[Pt]) -> i64 {
+    let mut best = i64::MAX;
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            best = best.min(d2(points[i], points[j]));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(points: &[Pt]) {
+        let (a, b, d) = closest_pair(points);
+        assert_eq!(d, closest_pair_reference(points), "points={points:?}");
+        assert_eq!(d, d2(a, b), "returned pair must realize the distance");
+    }
+
+    #[test]
+    fn simple_cases() {
+        check(&[(0, 0), (3, 4)]);
+        check(&[(0, 0), (10, 0), (10, 1), (0, 9)]);
+        check(&[(1, 1), (1, 1), (5, 5)]); // duplicates → distance 0
+    }
+
+    #[test]
+    fn pair_straddling_the_divider() {
+        // The closest pair crosses the median line.
+        check(&[(-10, 0), (-9, 0), (-1, 0), (1, 1), (9, 0), (10, 0)]);
+    }
+
+    #[test]
+    fn vertical_stack() {
+        let points: Vec<Pt> = (0..20).map(|i| (0, i * i)).collect();
+        check(&points);
+    }
+
+    #[test]
+    fn random_clouds() {
+        let mut x = 8u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+            (x >> 40) as i64 % 1000 - 500
+        };
+        for _ in 0..10 {
+            let n = 2 + (rng().unsigned_abs() as usize % 200);
+            let points: Vec<Pt> = (0..n).map(|_| (rng(), rng())).collect();
+            check(&points);
+        }
+    }
+
+    #[test]
+    fn grid_points() {
+        let points: Vec<Pt> = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i * 10, j * 10)))
+            .collect();
+        check(&points);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn single_point_rejected() {
+        closest_pair(&[(1, 1)]);
+    }
+}

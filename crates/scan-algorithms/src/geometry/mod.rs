@@ -1,0 +1,14 @@
+//! Computational geometry on the scan model (Table 1's geometry rows
+//! and the §2.4.1 line-drawing example).
+
+pub mod closest_pair;
+pub mod hull;
+pub mod kdtree;
+pub mod line_draw;
+pub mod line_of_sight;
+
+pub use closest_pair::closest_pair;
+pub use hull::convex_hull;
+pub use kdtree::KdTree;
+pub use line_draw::{draw_lines, render_ascii, Pixel};
+pub use line_of_sight::{line_of_sight, line_of_sight_rays};

@@ -1,0 +1,236 @@
+//! Sequential reference algorithms for verifying the scan-model graph
+//! algorithms: Kruskal's MST and union-find components.
+
+/// A plain union-find (path halving + union by size).
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns false if already joined.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+}
+
+/// Kruskal's MST (on the composite order `(weight, edge index)`, making
+/// the minimum spanning forest unique). Returns the chosen edge
+/// indices, sorted, and the total weight.
+pub fn kruskal(n_vertices: usize, edges: &[(usize, usize, u64)]) -> (Vec<usize>, u64) {
+    let mut order: Vec<usize> = (0..edges.len()).collect();
+    order.sort_unstable_by_key(|&e| (edges[e].2, e));
+    let mut uf = UnionFind::new(n_vertices);
+    let mut chosen = Vec::new();
+    let mut total = 0u64;
+    for e in order {
+        let (u, v, w) = edges[e];
+        if uf.union(u, v) {
+            chosen.push(e);
+            total += w;
+        }
+    }
+    chosen.sort_unstable();
+    (chosen, total)
+}
+
+/// Component label (smallest member vertex) of every vertex.
+pub fn components_reference(n_vertices: usize, edges: &[(usize, usize, u64)]) -> Vec<usize> {
+    let mut uf = UnionFind::new(n_vertices);
+    for &(u, v, _) in edges {
+        uf.union(u, v);
+    }
+    let mut min_of_root = vec![usize::MAX; n_vertices];
+    for v in 0..n_vertices {
+        let r = uf.find(v);
+        min_of_root[r] = min_of_root[r].min(v);
+    }
+    (0..n_vertices)
+        .map(|v| {
+            let r = uf.find(v);
+            min_of_root[r]
+        })
+        .collect()
+}
+
+/// Sequential Tarjan biconnectivity (iterative DFS with an edge stack),
+/// the reference for the parallel Tarjan–Vishkin implementation.
+/// Requires a connected graph; self-loops are not supported.
+pub fn biconnected_reference(
+    n_vertices: usize,
+    edges: &[(usize, usize, u64)],
+) -> super::biconnected::BiconnectedResult {
+    let m = edges.len();
+    let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n_vertices]; // (nbr, edge id)
+    for (e, &(u, v, _)) in edges.iter().enumerate() {
+        assert_ne!(u, v, "self-loops unsupported");
+        adj[u].push((v, e));
+        adj[v].push((u, e));
+    }
+    let mut disc = vec![usize::MAX; n_vertices];
+    let mut low = vec![0usize; n_vertices];
+    let mut edge_block = vec![usize::MAX; m];
+    let mut articulation = vec![false; n_vertices];
+    let mut n_blocks = 0usize;
+    let mut timer = 0usize;
+    let mut edge_stack: Vec<usize> = Vec::new();
+    // Iterative DFS frames: (vertex, parent edge id, next adj index).
+    let mut frames: Vec<(usize, usize, usize)> = Vec::new();
+    let root = 0usize;
+    disc[root] = timer;
+    low[root] = timer;
+    timer += 1;
+    frames.push((root, usize::MAX, 0));
+    let mut root_children = 0usize;
+    while let Some(&mut (v, pe, ref mut idx)) = frames.last_mut() {
+        if *idx < adj[v].len() {
+            let (w, e) = adj[v][*idx];
+            *idx += 1;
+            if e == pe {
+                continue;
+            }
+            if disc[w] == usize::MAX {
+                edge_stack.push(e);
+                disc[w] = timer;
+                low[w] = timer;
+                timer += 1;
+                if v == root {
+                    root_children += 1;
+                }
+                frames.push((w, e, 0));
+            } else if disc[w] < disc[v] {
+                edge_stack.push(e);
+                low[v] = low[v].min(disc[w]);
+            }
+        } else {
+            frames.pop();
+            if let Some(&mut (u, _, _)) = frames.last_mut() {
+                low[u] = low[u].min(low[v]);
+                if low[v] >= disc[u] {
+                    // u is an articulation point (unless root, handled
+                    // after); pop one block off the edge stack.
+                    if u != root {
+                        articulation[u] = true;
+                    }
+                    let block = n_blocks;
+                    n_blocks += 1;
+                    while let Some(&top) = edge_stack.last() {
+                        let (a, b, _) = edges[top];
+                        // Pop edges discovered within w's subtree call.
+                        if disc[a].max(disc[b]) >= disc[v] {
+                            edge_block[top] = block;
+                            edge_stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    articulation[root] = root_children >= 2;
+    assert!(
+        edge_block.iter().all(|&b| b != usize::MAX),
+        "graph must be connected"
+    );
+    let mut sizes = std::collections::HashMap::new();
+    for &b in &edge_block {
+        *sizes.entry(b).or_insert(0usize) += 1;
+    }
+    let bridge = edge_block.iter().map(|b| sizes[b] == 1).collect();
+    super::biconnected::BiconnectedResult {
+        edge_block,
+        articulation,
+        bridge,
+        n_blocks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn biconnected_reference_bowtie() {
+        let edges = [
+            (0, 1, 0),
+            (1, 2, 0),
+            (0, 2, 0),
+            (2, 3, 0),
+            (3, 4, 0),
+            (2, 4, 0),
+        ];
+        let r = biconnected_reference(5, &edges);
+        assert_eq!(r.n_blocks, 2);
+        assert_eq!(r.articulation, vec![false, false, true, false, false]);
+        assert!(r.bridge.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn kruskal_figure6_graph() {
+        let edges = [
+            (0, 1, 1),
+            (1, 2, 2),
+            (1, 4, 3),
+            (2, 3, 4),
+            (2, 4, 5),
+            (3, 4, 6),
+        ];
+        let (chosen, total) = kruskal(5, &edges);
+        assert_eq!(chosen, vec![0, 1, 2, 3]);
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn kruskal_forest_on_disconnected_graph() {
+        let edges = [(0, 1, 5), (2, 3, 7)];
+        let (chosen, total) = kruskal(4, &edges);
+        assert_eq!(chosen, vec![0, 1]);
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn component_labels() {
+        let labels = components_reference(5, &[(0, 1, 0), (3, 4, 0)]);
+        assert_eq!(labels, vec![0, 0, 2, 3, 3]);
+    }
+
+    #[test]
+    fn union_find_paths() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 3));
+        assert_eq!(uf.find(0), uf.find(2));
+    }
+}

@@ -1,0 +1,113 @@
+//! Merge baselines: the sequential two-finger merge (the work bound any
+//! parallel merge is measured against) and Batcher's bitonic merging
+//! network (the classic `O(lg n)`-step EREW merge).
+
+use scan_pram::{Ctx, Model};
+
+/// Sequential two-finger merge — the reference for correctness and the
+/// `O(n)`-work baseline.
+pub fn seq_merge(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            out.push(a[i]);
+            i += 1;
+        } else {
+            out.push(b[j]);
+            j += 1;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Bitonic merge of two sorted vectors on a step-counting machine:
+/// `lg n` compare-exchange stages. "As shown by Batcher, this can be
+/// executed in a single pass of an Omega network" (§4).
+pub fn bitonic_merge_ctx(ctx: &mut Ctx, a: &[u64], b: &[u64]) -> Vec<u64> {
+    let n_out = a.len() + b.len();
+    if n_out == 0 {
+        return Vec::new();
+    }
+    let n = n_out.next_power_of_two();
+    // ascending ++ padding ++ descending is bitonic.
+    let mut v = Vec::with_capacity(n);
+    v.extend_from_slice(a);
+    v.resize(n - b.len(), u64::MAX);
+    v.extend(b.iter().rev());
+    let mut j = n / 2;
+    while j > 0 {
+        let idx: Vec<usize> = (0..n).map(|i| i ^ j).collect();
+        let partner = ctx.gather(&v, &idx);
+        let take_min: Vec<bool> = (0..n).map(|i| i & j == 0).collect();
+        let mins = ctx.zip(&v, &partner, |x, y| x.min(y));
+        let maxs = ctx.zip(&v, &partner, |x, y| x.max(y));
+        v = ctx.select(&take_min, &mins, &maxs);
+        j /= 2;
+    }
+    v.truncate(n_out);
+    v
+}
+
+/// Bitonic merge with the default scan-model machine.
+pub fn bitonic_merge(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut ctx = Ctx::new(Model::Scan);
+    bitonic_merge_ctx(&mut ctx, a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_pram::StepKind;
+
+    fn check(a: &[u64], b: &[u64]) {
+        let mut expect: Vec<u64> = a.iter().chain(b).copied().collect();
+        expect.sort_unstable();
+        assert_eq!(seq_merge(a, b), expect);
+        assert_eq!(bitonic_merge(a, b), expect, "a={a:?} b={b:?}");
+    }
+
+    #[test]
+    fn basic_merges() {
+        check(&[1, 3, 5], &[2, 4, 6]);
+        check(&[], &[1, 2]);
+        check(&[1, 2], &[]);
+        check(&[], &[]);
+        check(&[7], &[7]);
+    }
+
+    #[test]
+    fn uneven_lengths_and_duplicates() {
+        check(&[1, 1, 1, 9, 9], &[1, 9]);
+        check(&[5], &[0, 1, 2, 3, 4, 6, 7, 8, 9]);
+        check(&[u64::MAX - 1, u64::MAX], &[0]);
+    }
+
+    #[test]
+    fn random_merges() {
+        let mut x = 17u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+            x >> 35
+        };
+        for _ in 0..20 {
+            let mut a: Vec<u64> = (0..rng() % 50).map(|_| rng() % 100).collect();
+            let mut b: Vec<u64> = (0..rng() % 50).map(|_| rng() % 100).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            check(&a, &b);
+        }
+    }
+
+    #[test]
+    fn bitonic_merge_takes_lg_n_stages() {
+        let a: Vec<u64> = (0..64).map(|i| 2 * i).collect();
+        let b: Vec<u64> = (0..64).map(|i| 2 * i + 1).collect();
+        let mut ctx = Ctx::new(Model::Scan);
+        bitonic_merge_ctx(&mut ctx, &a, &b);
+        // 128 elements → 7 stages, each one gather.
+        assert_eq!(ctx.stats().ops_of(StepKind::Permute), 7);
+    }
+}

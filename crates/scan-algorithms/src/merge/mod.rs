@@ -1,0 +1,8 @@
+//! Merging: the paper's halving merge (§2.5.1) and the baselines it is
+//! measured against.
+
+pub mod baseline;
+pub mod halving;
+
+pub use baseline::{bitonic_merge, seq_merge};
+pub use halving::{halving_merge, halving_merge_ctx, halving_merge_flags};

@@ -1,0 +1,231 @@
+//! The appendix algorithms: scans predate the P-RAM literature, and the
+//! paper's history section records two of the earliest uses —
+//!
+//! - **Ofman (1963)**: binary addition as a carry-resolution scan. We
+//!   implement both the paper's segmented-or-scan formulation and the
+//!   classic kill/propagate/generate operator scan, and check them
+//!   against each other;
+//! - **Stone (1971)**: polynomial evaluation as
+//!   `A · ×-scan(copy(X))` on a perfect shuffle network.
+
+use scan_core::element::ScanElem;
+use scan_core::op::{Prod, ScanOp, Sum};
+use scan_core::segmented::Segments;
+use scan_pram::{Ctx, Model};
+
+/// Big-integer addition via the paper's appendix formulation:
+/// `(A ⊕ B) ⊕ seg-or-scan(A ∧ B, segments after kill positions)`.
+///
+/// `a` and `b` are little-endian bit vectors of equal length; the
+/// result has the same length (the final carry is dropped, i.e.
+/// addition modulo `2^n`).
+pub fn ofman_add_ctx(ctx: &mut Ctx, a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let generate = ctx.zip(a, b, |x, y| x & y);
+    let kill = ctx.zip(a, b, |x, y| !x & !y);
+    // A carry cannot cross a kill position: start a new segment just
+    // above every kill.
+    let seg_flags: Vec<bool> = (0..n).map(|i| i == 0 || kill[i - 1]).collect();
+    ctx.charge_permute_op(n); // the neighbor shift
+    let segs = Segments::from_flags(seg_flags);
+    let carry = ctx.seg_scan::<scan_core::op::Or, _>(&generate, &segs);
+    let partial = ctx.zip(a, b, |x, y| x ^ y);
+    ctx.zip(&partial, &carry, |s, c| s ^ c)
+}
+
+/// Ofman addition with the default scan-model machine.
+pub fn ofman_add(a: &[bool], b: &[bool]) -> Vec<bool> {
+    let mut ctx = Ctx::new(Model::Scan);
+    ofman_add_ctx(&mut ctx, a, b)
+}
+
+/// Carry state for the kill/propagate/generate scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kpg {
+    /// No carry out regardless of carry in.
+    Kill,
+    /// Carry out equals carry in.
+    Propagate,
+    /// Carry out regardless of carry in.
+    Generate,
+}
+
+/// The KPG operator: `combine(left, right)` resolves a carry crossing
+/// `left` then `right`. Associative with identity `Propagate`...
+/// actually the identity must absorb on the left: `Kill` plays the
+/// role of "no carry entering", which is the scan's initial value; the
+/// operator's true identity is `Propagate`.
+pub struct KpgOp;
+
+impl ScanOp<Kpg> for KpgOp {
+    const NAME: &'static str = "kpg";
+    fn identity() -> Kpg {
+        Kpg::Propagate
+    }
+    #[inline]
+    fn combine(left: Kpg, right: Kpg) -> Kpg {
+        match right {
+            Kpg::Propagate => left,
+            other => other,
+        }
+    }
+}
+
+/// Binary addition via the KPG scan — the carry-lookahead view of the
+/// same computation; must agree with [`ofman_add`] bit for bit.
+pub fn kpg_add_ctx(ctx: &mut Ctx, a: &[bool], b: &[bool]) -> Vec<bool> {
+    assert_eq!(a.len(), b.len(), "operand length mismatch");
+    let states: Vec<Kpg> = ctx.zip(a, b, |x, y| match (x, y) {
+        (true, true) => Kpg::Generate,
+        (false, false) => Kpg::Kill,
+        _ => Kpg::Propagate,
+    });
+    // Exclusive scan; a leading Propagate chain resolves to the
+    // identity, which we read as "no carry in".
+    let carry_state = ctx.scan::<KpgOp, _>(&states);
+    let carry: Vec<bool> = ctx.map(&carry_state, |s| s == Kpg::Generate);
+    let partial = ctx.zip(a, b, |x, y| x ^ y);
+    ctx.zip(&partial, &carry, |s, c| s ^ c)
+}
+
+/// KPG addition with the default scan-model machine.
+pub fn kpg_add(a: &[bool], b: &[bool]) -> Vec<bool> {
+    let mut ctx = Ctx::new(Model::Scan);
+    kpg_add_ctx(&mut ctx, a, b)
+}
+
+/// Stone's polynomial evaluation: `p(x) = Σ aᵢ xⁱ` computed as
+/// `A · ×-scan(copy(x))` followed by a `+`-reduce — three program
+/// steps.
+pub fn poly_eval_ctx<T>(ctx: &mut Ctx, coeffs: &[T], x: T) -> T
+where
+    T: ScanElem,
+    Prod: ScanOp<T>,
+    Sum: ScanOp<T>,
+{
+    let xs = ctx.constant(coeffs.len(), x);
+    let powers = ctx.scan::<Prod, _>(&xs); // [1, x, x², ...]
+    let terms = ctx.zip(coeffs, &powers, |a, p| Prod::combine(a, p));
+    ctx.reduce::<Sum, _>(&terms)
+}
+
+/// Polynomial evaluation with the default scan-model machine.
+pub fn poly_eval(coeffs: &[f64], x: f64) -> f64 {
+    let mut ctx = Ctx::new(Model::Scan);
+    poly_eval_ctx(&mut ctx, coeffs, x)
+}
+
+/// Little-endian bit decomposition helper.
+pub fn to_bits(mut v: u64, n: usize) -> Vec<bool> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(v & 1 == 1);
+        v >>= 1;
+    }
+    out
+}
+
+/// Little-endian bit recomposition helper.
+pub fn from_bits(bits: &[bool]) -> u64 {
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ofman_addition_exhaustive_6bit() {
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let got = from_bits(&ofman_add(&to_bits(a, 6), &to_bits(b, 6)));
+                assert_eq!(got, (a + b) & 63, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kpg_addition_exhaustive_6bit() {
+        for a in 0..64u64 {
+            for b in 0..64u64 {
+                let got = from_bits(&kpg_add(&to_bits(a, 6), &to_bits(b, 6)));
+                assert_eq!(got, (a + b) & 63, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn both_formulations_agree_on_wide_words() {
+        let mut x = 3u64;
+        for _ in 0..50 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let a = x;
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let b = x;
+            let ab = to_bits(a, 64);
+            let bb = to_bits(b, 64);
+            assert_eq!(ofman_add(&ab, &bb), kpg_add(&ab, &bb));
+            assert_eq!(from_bits(&ofman_add(&ab, &bb)), a.wrapping_add(b));
+        }
+    }
+
+    #[test]
+    fn empty_addition() {
+        assert!(ofman_add(&[], &[]).is_empty());
+        assert!(kpg_add(&[], &[]).is_empty());
+    }
+
+    #[test]
+    fn kpg_operator_laws() {
+        let all = [Kpg::Kill, Kpg::Propagate, Kpg::Generate];
+        for &a in &all {
+            assert_eq!(KpgOp::combine(KpgOp::identity(), a), a);
+            assert_eq!(KpgOp::combine(a, KpgOp::identity()), a);
+            for &b in &all {
+                for &c in &all {
+                    assert_eq!(
+                        KpgOp::combine(KpgOp::combine(a, b), c),
+                        KpgOp::combine(a, KpgOp::combine(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polynomial_evaluation() {
+        // p(x) = 3 + 2x + x³ at x = 2 → 3 + 4 + 8 = 15.
+        assert_eq!(poly_eval(&[3.0, 2.0, 0.0, 1.0], 2.0), 15.0);
+        assert_eq!(poly_eval(&[], 5.0), 0.0);
+        assert_eq!(poly_eval(&[7.0], 100.0), 7.0);
+    }
+
+    #[test]
+    fn polynomial_matches_horner_on_random_input() {
+        let mut x = 9u64;
+        let mut rng = move || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(3);
+            ((x >> 40) % 100) as f64 / 10.0 - 5.0
+        };
+        for _ in 0..20 {
+            let coeffs: Vec<f64> = (0..10).map(|_| rng()).collect();
+            let at = rng() / 4.0;
+            let horner = coeffs.iter().rev().fold(0.0, |acc, &c| acc * at + c);
+            let got = poly_eval(&coeffs, at);
+            assert!((got - horner).abs() < 1e-6 * (1.0 + horner.abs()));
+        }
+    }
+
+    #[test]
+    fn integer_polynomial() {
+        let mut ctx = Ctx::new(Model::Scan);
+        // 1 + x + x² + x³ at x = 3 (wrapping u64) = 40.
+        assert_eq!(poly_eval_ctx(&mut ctx, &[1u64, 1, 1, 1], 3), 40);
+    }
+}

@@ -1,0 +1,119 @@
+//! Batcher's bitonic sort — the baseline the paper compares the split
+//! radix sort against (Table 4), "commonly cited as the most practical
+//! parallel sorting algorithm".
+//!
+//! The network has `lg n (lg n + 1)/2` compare-exchange stages; each
+//! stage is one elementwise compare plus one permute-distance exchange,
+//! so the step complexity is `O(lg² n)` on every model — scans don't
+//! help it, which is exactly why it is the right yardstick.
+
+use scan_pram::{Ctx, Model};
+
+/// Bitonic sort on a step-counting machine. Ascending; the input is
+/// padded to a power of two with `u64::MAX` internally.
+pub fn bitonic_sort_ctx(ctx: &mut Ctx, keys: &[u64]) -> Vec<u64> {
+    let n_orig = keys.len();
+    if n_orig <= 1 {
+        return keys.to_vec();
+    }
+    let n = n_orig.next_power_of_two();
+    let mut a = keys.to_vec();
+    a.resize(n, u64::MAX);
+    let mut k = 2;
+    while k <= n {
+        let mut j = k / 2;
+        while j > 0 {
+            // One network stage: every element fetches its partner
+            // (one exchange round — `i ^ j` is a permutation) and keeps
+            // the min or the max depending on its position.
+            let idx: Vec<usize> = (0..n).map(|i| i ^ j).collect();
+            let partner = ctx.gather(&a, &idx);
+            let take_min: Vec<bool> = (0..n).map(|i| (i & j == 0) == (i & k == 0)).collect();
+            let mins = ctx.zip(&a, &partner, |x, y| x.min(y));
+            let maxs = ctx.zip(&a, &partner, |x, y| x.max(y));
+            a = ctx.select(&take_min, &mins, &maxs);
+            j /= 2;
+        }
+        k *= 2;
+    }
+    a.truncate(n_orig);
+    a
+}
+
+/// Bitonic sort with the default scan-model machine.
+pub fn bitonic_sort(keys: &[u64]) -> Vec<u64> {
+    let mut ctx = Ctx::new(Model::Scan);
+    bitonic_sort_ctx(&mut ctx, keys)
+}
+
+/// Number of compare-exchange stages the network executes for `n` keys.
+pub fn bitonic_stage_count(n: usize) -> u64 {
+    if n <= 1 {
+        return 0;
+    }
+    let lg = (n.next_power_of_two().trailing_zeros()) as u64;
+    lg * (lg + 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_pram::StepKind;
+
+    #[test]
+    fn sorts_random() {
+        let mut x = 9u64;
+        let keys: Vec<u64> = (0..777)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                x >> 30
+            })
+            .collect();
+        let got = bitonic_sort(&keys);
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn stage_count_matches_formula() {
+        let keys: Vec<u64> = (0..256).rev().collect();
+        let mut ctx = Ctx::new(Model::Scan);
+        bitonic_sort_ctx(&mut ctx, &keys);
+        assert_eq!(
+            ctx.stats().ops_of(StepKind::Permute),
+            bitonic_stage_count(256)
+        );
+        assert_eq!(bitonic_stage_count(256), 36); // 8·9/2
+    }
+
+    #[test]
+    fn non_power_of_two() {
+        let keys = [5u64, 3, 9, 1, 7];
+        assert_eq!(bitonic_sort(&keys), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn empty_single_and_pair() {
+        assert!(bitonic_sort(&[]).is_empty());
+        assert_eq!(bitonic_sort(&[4]), vec![4]);
+        assert_eq!(bitonic_sort(&[4, 2]), vec![2, 4]);
+    }
+
+    #[test]
+    fn max_values_survive_padding() {
+        let keys = [u64::MAX, 0, u64::MAX - 1];
+        assert_eq!(bitonic_sort(&keys), vec![0, u64::MAX - 1, u64::MAX]);
+    }
+
+    #[test]
+    fn scans_do_not_help_bitonic() {
+        // The same step count under Scan and EREW models (no scans used).
+        let keys: Vec<u64> = (0..128).rev().collect();
+        let mut s = Ctx::new(Model::Scan);
+        let mut e = Ctx::new(Model::Erew);
+        bitonic_sort_ctx(&mut s, &keys);
+        bitonic_sort_ctx(&mut e, &keys);
+        assert_eq!(s.steps(), e.steps());
+    }
+}

@@ -1,0 +1,95 @@
+//! Parallel mergesort on the §4 extension: the paper's conclusion
+//! wonders whether "a merge primitive that merges two sorted vectors"
+//! could join the scans as a unit-time primitive ("as shown by Batcher,
+//! this can be executed in a single pass of an Omega network").
+//!
+//! With the primitive enabled ([`scan_pram::Ctx::with_merge_primitive`])
+//! every round of pairwise run-merging is one program step, so sorting
+//! takes `O(lg n)` steps; without it, each round pays the bitonic
+//! network's `⌈lg p⌉` stages and the sort costs `O(lg² n)` — an
+//! experimental answer to the paper's closing question.
+
+use scan_pram::{Ctx, Model};
+
+/// Bottom-up mergesort: `⌈lg n⌉` rounds of all-pairs run merges.
+pub fn merge_sort_ctx(ctx: &mut Ctx, keys: &[u64]) -> Vec<u64> {
+    let n = keys.len();
+    let mut a = keys.to_vec();
+    let mut width = 1;
+    while width < n {
+        a = ctx.merge_adjacent_runs(&a, width);
+        width *= 2;
+    }
+    a
+}
+
+/// Mergesort with the default scan-model machine and the §4 merge
+/// primitive enabled.
+pub fn merge_sort(keys: &[u64]) -> Vec<u64> {
+    let mut ctx = Ctx::new(Model::Scan).with_merge_primitive();
+    merge_sort_ctx(&mut ctx, keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_pram::StepKind;
+
+    #[test]
+    fn sorts_random_keys() {
+        let mut x = 11u64;
+        let keys: Vec<u64> = (0..1000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x >> 30
+            })
+            .collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(merge_sort(&keys), expect);
+    }
+
+    #[test]
+    fn lg_n_rounds() {
+        let keys: Vec<u64> = (0..1024).rev().collect();
+        let mut ctx = Ctx::new(Model::Scan).with_merge_primitive();
+        merge_sort_ctx(&mut ctx, &keys);
+        assert_eq!(ctx.stats().ops_of(StepKind::Merge), 10);
+    }
+
+    #[test]
+    fn primitive_removes_a_lg_factor() {
+        let keys: Vec<u64> = (0..4096).map(|i| (i * 48271) % 4096).collect();
+        let mut with = Ctx::new(Model::Scan).with_merge_primitive();
+        let a = merge_sort_ctx(&mut with, &keys);
+        let mut without = Ctx::new(Model::Scan);
+        let b = merge_sort_ctx(&mut without, &keys);
+        assert_eq!(a, b);
+        // 12 rounds: with the primitive each costs ~3 steps; without,
+        // each costs ~2·lg n stages.
+        assert!(
+            without.steps() > 5 * with.steps(),
+            "{} vs {}",
+            without.steps(),
+            with.steps()
+        );
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert!(merge_sort(&[]).is_empty());
+        assert_eq!(merge_sort(&[3]), vec![3]);
+        assert_eq!(merge_sort(&[2, 1]), vec![1, 2]);
+        assert_eq!(merge_sort(&[5, 5, 5]), vec![5, 5, 5]);
+        // Non-power-of-two length with a trailing partial run.
+        assert_eq!(merge_sort(&[9, 1, 8, 2, 7]), vec![1, 2, 7, 8, 9]);
+    }
+
+    #[test]
+    fn merge_adjacent_runs_partial_tail() {
+        let mut ctx = Ctx::new(Model::Scan).with_merge_primitive();
+        // runs of width 2: [1,5][2,3][4]
+        let merged = ctx.merge_adjacent_runs(&[1u64, 5, 2, 3, 4], 2);
+        assert_eq!(merged, vec![1, 2, 3, 5, 4]);
+    }
+}

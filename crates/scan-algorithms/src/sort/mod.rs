@@ -1,0 +1,13 @@
+//! Sorting: the paper's split radix sort (§2.2.1) and segmented
+//! quicksort (§2.3.1), plus Batcher's bitonic sort as the Table 4
+//! comparison baseline.
+
+pub mod bitonic;
+pub mod mergesort;
+pub mod quicksort;
+pub mod radix;
+
+pub use bitonic::bitonic_sort;
+pub use mergesort::merge_sort;
+pub use quicksort::{quicksort, PivotRule};
+pub use radix::{split_radix_sort, split_radix_sort_pairs};

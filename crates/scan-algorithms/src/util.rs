@@ -1,0 +1,26 @@
+//! Small shared helpers for the algorithm suite.
+
+/// The splitmix64 finalizer: a stateless, high-quality 64-bit mixer
+/// used wherever an algorithm needs deterministic per-(seed, round,
+/// element) coin flips or priorities.
+#[inline]
+pub(crate) fn hash64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixing() {
+        assert_eq!(hash64(0), hash64(0));
+        assert_ne!(hash64(0), hash64(1));
+        // Low bits flip between consecutive inputs (coin-flip quality).
+        let flips = (0..64u64).filter(|&i| hash64(i) & 1 == 1).count();
+        assert!((20..=44).contains(&flips), "biased coin: {flips}/64");
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests: every algorithm against an independent
+//! reference on arbitrary inputs.
+
+use proptest::prelude::*;
+use scan_algorithms::geometry::closest_pair::{closest_pair, closest_pair_reference};
+use scan_algorithms::geometry::hull::{convex_hull, convex_hull_reference};
+use scan_algorithms::geometry::kdtree::KdTree;
+use scan_algorithms::graph::reference::{components_reference, kruskal};
+use scan_algorithms::graph::{connected_components, minimum_spanning_tree};
+use scan_algorithms::list_rank::{contraction_rank, rank_reference, wyllie_rank};
+use scan_algorithms::merge::{bitonic_merge, halving_merge, seq_merge};
+use scan_algorithms::numeric::{from_bits, kpg_add, ofman_add, to_bits};
+use scan_algorithms::sort::{bitonic_sort, quicksort, split_radix_sort, PivotRule};
+use scan_algorithms::tree_ops::{euler_tour, tree_reference};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn radix_sort_sorts(keys in proptest::collection::vec(0u64..1_000_000, 0..500)) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(split_radix_sort(&keys, 20), expect);
+    }
+
+    #[test]
+    fn quicksort_sorts(keys in proptest::collection::vec(any::<u64>(), 0..400), seed in any::<u64>()) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(quicksort(&keys, PivotRule::Random(seed)), expect.clone());
+        prop_assert_eq!(quicksort(&keys, PivotRule::First), expect);
+    }
+
+    #[test]
+    fn bitonic_sorts(keys in proptest::collection::vec(any::<u64>(), 0..400)) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(bitonic_sort(&keys), expect);
+    }
+
+    #[test]
+    fn merges_agree(
+        mut a in proptest::collection::vec(0u64..1_000_000, 0..300),
+        mut b in proptest::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let expect = seq_merge(&a, &b);
+        prop_assert_eq!(halving_merge(&a, &b), expect.clone());
+        prop_assert_eq!(bitonic_merge(&a, &b), expect);
+    }
+
+    #[test]
+    fn mst_matches_kruskal(
+        n in 2usize..40,
+        raw in proptest::collection::vec((any::<u16>(), any::<u16>(), 0u64..1000), 0..120),
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = raw
+            .iter()
+            .filter_map(|&(u, v, w)| {
+                let (u, v) = (u as usize % n, v as usize % n);
+                (u != v).then_some((u, v, w))
+            })
+            .collect();
+        let got = minimum_spanning_tree(n, &edges, seed);
+        let (expect, weight) = kruskal(n, &edges);
+        prop_assert_eq!(got.edges, expect);
+        prop_assert_eq!(got.total_weight, weight);
+    }
+
+    #[test]
+    fn components_match_union_find(
+        n in 1usize..50,
+        raw in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..100),
+        seed in any::<u64>(),
+    ) {
+        let edges: Vec<(usize, usize, u64)> = raw
+            .iter()
+            .filter_map(|&(u, v)| {
+                let (u, v) = (u as usize % n, v as usize % n);
+                (u != v).then_some((u, v, 0))
+            })
+            .collect();
+        prop_assert_eq!(
+            connected_components(n, &edges, seed),
+            components_reference(n, &edges)
+        );
+    }
+
+    #[test]
+    fn hull_matches_monotone_chain(
+        pts in proptest::collection::vec((-500i64..500, -500i64..500), 0..200),
+    ) {
+        prop_assert_eq!(convex_hull(&pts), convex_hull_reference(&pts));
+    }
+
+    #[test]
+    fn closest_pair_matches_brute_force(
+        pts in proptest::collection::vec((-1000i64..1000, -1000i64..1000), 2..150),
+    ) {
+        let (_, _, d) = closest_pair(&pts);
+        prop_assert_eq!(d, closest_pair_reference(&pts));
+    }
+
+    #[test]
+    fn kdtree_nearest_matches_brute_force(
+        pts in proptest::collection::vec((-300i64..300, -300i64..300), 1..150),
+        queries in proptest::collection::vec((-400i64..400, -400i64..400), 1..20),
+    ) {
+        let t = KdTree::build(&pts);
+        t.validate();
+        prop_assert_eq!(t.len(), pts.len());
+        for q in queries {
+            let best = pts
+                .iter()
+                .map(|&p| (p.0 - q.0).pow(2) + (p.1 - q.1).pow(2))
+                .min()
+                .unwrap();
+            prop_assert_eq!(t.nearest(q).unwrap().1, best);
+        }
+    }
+
+    #[test]
+    fn list_rankers_match_reference(n in 1usize..200, seed in any::<u64>()) {
+        let next = scan_algorithms::list_rank::random_list(n, seed | 1);
+        let expect = rank_reference(&next);
+        prop_assert_eq!(wyllie_rank(&next), expect.clone());
+        prop_assert_eq!(contraction_rank(&next, seed), expect);
+    }
+
+    #[test]
+    fn euler_tour_matches_dfs(n in 1usize..80, seed in any::<u64>(), root_pick in any::<u64>()) {
+        // Random attachment tree.
+        let mut state = seed | 1;
+        let mut rng = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let edges: Vec<(usize, usize)> = (1..n).map(|v| (rng() % v, v)).collect();
+        let root = root_pick as usize % n;
+        let tour = euler_tour(n, &edges, root, seed);
+        let (parent, depth, size) = tree_reference(n, &edges, root);
+        prop_assert_eq!(tour.parent, parent);
+        prop_assert_eq!(tour.depth, depth);
+        prop_assert_eq!(tour.subtree_size, size);
+    }
+
+    #[test]
+    fn biconnected_matches_tarjan(
+        n in 2usize..25,
+        extra in proptest::collection::vec((any::<u16>(), any::<u16>()), 0..40),
+        seed in any::<u64>(),
+    ) {
+        use scan_algorithms::graph::biconnected::biconnected_components;
+        use scan_algorithms::graph::reference::biconnected_reference;
+        // Spanning path keeps it connected.
+        let mut edges: Vec<(usize, usize, u64)> = (1..n).map(|v| (v - 1, v, 0)).collect();
+        for &(u, v) in &extra {
+            let (u, v) = (u as usize % n, v as usize % n);
+            if u != v {
+                edges.push((u, v, 0));
+            }
+        }
+        let got = biconnected_components(n, &edges, seed);
+        let expect = biconnected_reference(n, &edges);
+        // Same partition up to relabelling.
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in got.edge_block.iter().zip(&expect.edge_block) {
+            prop_assert_eq!(*fwd.entry(x).or_insert(y), y);
+            prop_assert_eq!(*bwd.entry(y).or_insert(x), x);
+        }
+        prop_assert_eq!(got.articulation, expect.articulation);
+        prop_assert_eq!(got.bridge, expect.bridge);
+        prop_assert_eq!(got.n_blocks, expect.n_blocks);
+    }
+
+    #[test]
+    fn spmv_matches_reference(
+        rows in 1usize..30,
+        cols in 1usize..30,
+        raw in proptest::collection::vec((any::<u16>(), any::<u16>(), -50i32..50), 0..150),
+    ) {
+        use scan_algorithms::matrix_sparse::SparseMatrix;
+        let triplets: Vec<(usize, usize, f64)> = raw
+            .iter()
+            .map(|&(r, c, v)| (r as usize % rows, c as usize % cols, v as f64 / 4.0))
+            .collect();
+        let a = SparseMatrix::from_triplets(rows, cols, &triplets);
+        let x: Vec<f64> = (0..cols).map(|i| i as f64 - 3.5).collect();
+        let got = a.spmv(&x);
+        let expect = a.spmv_reference(&x);
+        for (g, e) in got.iter().zip(&expect) {
+            prop_assert!((g - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn merge_sort_sorts(keys in proptest::collection::vec(any::<u64>(), 0..400)) {
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(scan_algorithms::sort::merge_sort(&keys), expect);
+    }
+
+    #[test]
+    fn scan_adders_add(a in any::<u64>(), b in any::<u64>()) {
+        let ab = to_bits(a, 64);
+        let bb = to_bits(b, 64);
+        let expect = a.wrapping_add(b);
+        prop_assert_eq!(from_bits(&ofman_add(&ab, &bb)), expect);
+        prop_assert_eq!(from_bits(&kpg_add(&ab, &bb)), expect);
+    }
+}

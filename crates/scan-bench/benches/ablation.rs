@@ -1,0 +1,118 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - the parallel-scan block schedule vs a pure sequential pass (the
+//!   2× work overhead of the two-pass scheme must be bought back by
+//!   parallelism);
+//! - segmented scans via the pair operator vs via two unsegmented
+//!   primitives (§3.4) — the hardware route does more passes;
+//! - quicksort pivot rules (first element vs random), the paper's
+//!   expected-case argument.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scan_algorithms::sort::{quicksort, PivotRule};
+use scan_bench::random_keys;
+use scan_core::op::{Max, Sum};
+use scan_core::segmented::{seg_scan, Segments};
+use scan_core::simulate::{seg_max_scan_via_primitives, SoftwareScans};
+
+fn ablate_seg_scan_route(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/segmented_route");
+    g.sample_size(10);
+    let n = 1usize << 20;
+    let a = random_keys(n, 20, 20);
+    let flags: Vec<bool> = (0..n).map(|i| i % 64 == 0).collect();
+    let segs = Segments::from_flags(flags);
+    g.bench_function("pair_operator", |b| {
+        b.iter(|| seg_scan::<Max, _>(&a, &segs))
+    });
+    g.bench_function("two_primitives_fig16", |b| {
+        b.iter(|| seg_max_scan_via_primitives(&SoftwareScans, &a, &segs, 24).unwrap())
+    });
+    g.finish();
+}
+
+fn ablate_pivot_rule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/quicksort_pivot");
+    g.sample_size(10);
+    let n = 1usize << 14;
+    let random_input = random_keys(n, 30, 21);
+    let sorted_input: Vec<u64> = {
+        let mut v = random_input.clone();
+        v.sort_unstable();
+        v
+    };
+    // Nearly-sorted adversarial input: sorted with a few swaps, which
+    // punishes first-element pivots.
+    let nearly_sorted: Vec<u64> = {
+        let mut v = sorted_input.clone();
+        for i in (0..n).step_by(97) {
+            v.swap(i, (i + 13) % n);
+        }
+        v
+    };
+    for (name, input) in [("random", &random_input), ("nearly_sorted", &nearly_sorted)] {
+        g.bench_with_input(BenchmarkId::new("first_pivot", name), input, |b, k| {
+            b.iter(|| quicksort(k, PivotRule::First))
+        });
+        g.bench_with_input(BenchmarkId::new("random_pivot", name), input, |b, k| {
+            b.iter(|| quicksort(k, PivotRule::Random(5)))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_scan_with_total(c: &mut Criterion) {
+    // scan_with_total vs scan-then-reduce: one pass saved.
+    let mut g = c.benchmark_group("ablation/scan_with_total");
+    g.sample_size(10);
+    let a = random_keys(1 << 22, 32, 22);
+    g.bench_function("fused", |b| {
+        b.iter(|| scan_core::scan_with_total::<Sum, _>(&a))
+    });
+    g.bench_function("scan_then_reduce", |b| {
+        b.iter(|| {
+            (
+                scan_core::scan::<Sum, _>(&a),
+                scan_core::reduce::<Sum, _>(&a),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ablate_merge_primitive(c: &mut Criterion) {
+    // The §4 extension: step counts with/without the unit-time merge
+    // primitive (wall clock is identical — the primitive changes the
+    // *charge*, which the bench asserts).
+    use scan_algorithms::sort::mergesort::merge_sort_ctx;
+    use scan_pram::{Ctx, Model};
+    let mut g = c.benchmark_group("ablation/merge_primitive");
+    g.sample_size(10);
+    let keys = random_keys(1 << 14, 30, 23);
+    g.bench_function("mergesort_with_primitive", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(Model::Scan).with_merge_primitive();
+            let out = merge_sort_ctx(&mut ctx, &keys);
+            assert!(ctx.steps() < 200, "O(lg n) steps with the primitive");
+            out
+        })
+    });
+    g.bench_function("mergesort_without_primitive", |b| {
+        b.iter(|| {
+            let mut ctx = Ctx::new(Model::Scan);
+            let out = merge_sort_ctx(&mut ctx, &keys);
+            assert!(ctx.steps() > 300, "O(lg^2 n) steps without it");
+            out
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_seg_scan_route,
+    ablate_pivot_rule,
+    ablate_scan_with_total,
+    ablate_merge_primitive
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! The simulated hardware under Criterion: bit cycles are fixed by the
+//! design (`m + 2 lg n − 1`), so this measures simulator throughput and
+//! verifies cycle counts stay exactly on the paper's bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scan_bench::random_keys;
+use scan_circuit::{OpKind, TreeScanCircuit};
+
+fn bench_circuit_scan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("circuit/scan_simulation");
+    g.sample_size(10);
+    for lg in [8u32, 12] {
+        let n = 1usize << lg;
+        let values = random_keys(n, 32, 15);
+        g.bench_with_input(BenchmarkId::new("plus_32bit", n), &values, |b, v| {
+            let mut circuit = TreeScanCircuit::new(n);
+            b.iter(|| {
+                let run = circuit.scan(OpKind::Plus, v, 32);
+                assert_eq!(run.cycles, 32 + 2 * lg as u64 - 1);
+                run
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("max_32bit", n), &values, |b, v| {
+            let mut circuit = TreeScanCircuit::new(n);
+            b.iter(|| circuit.scan(OpKind::Max, v, 32))
+        });
+    }
+    g.finish();
+}
+
+fn bench_field_width(c: &mut Criterion) {
+    // Cycle count is linear in the field width m (the m + 2 lg n law).
+    let mut g = c.benchmark_group("circuit/field_width");
+    g.sample_size(10);
+    let n = 1usize << 10;
+    for m in [8u32, 32, 64] {
+        let values = random_keys(n, m, 16);
+        g.bench_with_input(BenchmarkId::from_parameter(m), &values, |b, v| {
+            let mut circuit = TreeScanCircuit::new(n);
+            b.iter(|| circuit.scan(OpKind::Plus, v, m))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_circuit_scan, bench_field_width);
+criterion_main!(benches);

@@ -1,0 +1,266 @@
+//! Table 1 reproduction: step complexity of the algorithm suite under
+//! the EREW P-RAM versus the scan model.
+//!
+//! The paper's table lists the best-known asymptotic bounds per model;
+//! our measurement runs *this repository's scan-based algorithms* under
+//! both cost models and shows the table's substance directly: the same
+//! program costs an extra `Θ(lg n)` factor the moment scans stop being
+//! unit-time. Bitonic sort is included as the control — it uses no
+//! scans, so the two models charge it identically.
+//!
+//! Run with: `cargo run -p scan-bench --release --bin table1`
+
+use scan_bench::{connected_graph, print_row, print_rule, random_keys, random_points, Rng};
+use scan_pram::{Ctx, Model};
+
+struct Row {
+    name: &'static str,
+    paper_erew: &'static str,
+    paper_scan: &'static str,
+    run: Box<dyn Fn(&mut Ctx, usize, u64)>,
+}
+
+fn rows() -> Vec<Row> {
+    vec![
+        Row {
+            name: "Minimum Spanning Tree",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let edges = connected_graph(n, 4 * n, seed);
+                scan_algorithms::graph::mst::minimum_spanning_tree_ctx(ctx, n, &edges, seed);
+            }),
+        },
+        Row {
+            name: "Connected Components",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let edges = connected_graph(n, 2 * n, seed);
+                scan_algorithms::graph::components::connected_components_ctx(
+                    ctx, n, &edges, seed,
+                );
+            }),
+        },
+        Row {
+            name: "Maximal Independent Set",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let edges = connected_graph(n, 2 * n, seed);
+                scan_algorithms::graph::mis::maximal_independent_set_ctx(ctx, n, &edges, seed);
+            }),
+        },
+        Row {
+            name: "Biconnected Components",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let edges = connected_graph(n, 2 * n, seed);
+                scan_algorithms::graph::biconnected::biconnected_components_ctx(
+                    ctx, n, &edges, seed,
+                );
+            }),
+        },
+        Row {
+            name: "Sorting (split radix)",
+            paper_erew: "O(lg n)*",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let bits = (usize::BITS - n.leading_zeros()).min(20);
+                let keys = random_keys(n, bits, seed);
+                scan_algorithms::sort::radix::split_radix_sort_ctx(ctx, &keys, bits);
+            }),
+        },
+        Row {
+            name: "Sorting (quicksort)",
+            paper_erew: "O(lg n)*",
+            paper_scan: "O(lg n) exp.",
+            run: Box::new(|ctx, n, seed| {
+                let keys = random_keys(n, 30, seed);
+                scan_algorithms::sort::quicksort::quicksort_ctx(
+                    ctx,
+                    &keys,
+                    scan_algorithms::sort::quicksort::PivotRule::Random(seed),
+                );
+            }),
+        },
+        Row {
+            name: "Sorting (bitonic, control)",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg^2 n)",
+            run: Box::new(|ctx, n, seed| {
+                let keys = random_keys(n, 30, seed);
+                scan_algorithms::sort::bitonic::bitonic_sort_ctx(ctx, &keys);
+            }),
+        },
+        Row {
+            name: "Merging (halving merge)",
+            paper_erew: "O(lg n)",
+            paper_scan: "O(lg lg n)**",
+            run: Box::new(|ctx, n, seed| {
+                let a = scan_bench::sorted_keys(n / 2, 30, seed);
+                let b = scan_bench::sorted_keys(n / 2, 30, seed ^ 99);
+                scan_algorithms::merge::halving::halving_merge_ctx(ctx, &a, &b);
+            }),
+        },
+        Row {
+            name: "Convex Hull",
+            paper_erew: "O(lg n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let pts = random_points(n, 1 << 19, seed);
+                scan_algorithms::geometry::hull::convex_hull_ctx(ctx, &pts);
+            }),
+        },
+        Row {
+            name: "Building a K-D Tree",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let pts = random_points(n, 1 << 19, seed);
+                scan_algorithms::geometry::kdtree::KdTree::build_ctx(ctx, &pts);
+            }),
+        },
+        Row {
+            name: "Closest Pair in the Plane",
+            paper_erew: "O(lg^2 n)",
+            paper_scan: "O(lg n)",
+            run: Box::new(|ctx, n, seed| {
+                let pts = random_points(n, 1 << 19, seed);
+                scan_algorithms::geometry::closest_pair::closest_pair_ctx(ctx, &pts);
+            }),
+        },
+        Row {
+            name: "Line of Sight",
+            paper_erew: "O(lg n)",
+            paper_scan: "O(1)",
+            run: Box::new(|ctx, n, seed| {
+                let mut rng = Rng::new(seed);
+                let alts: Vec<f64> = (0..n).map(|_| rng.below(1000) as f64).collect();
+                scan_algorithms::geometry::line_of_sight::line_of_sight_ctx(ctx, 5.0, &alts);
+            }),
+        },
+        Row {
+            name: "Line Drawing",
+            paper_erew: "O(lg n)",
+            paper_scan: "O(1)",
+            run: Box::new(|ctx, n, seed| {
+                let mut rng = Rng::new(seed);
+                let lines: Vec<((i64, i64), (i64, i64))> = (0..n / 16)
+                    .map(|_| {
+                        (
+                            (rng.below(512) as i64, rng.below(512) as i64),
+                            (rng.below(512) as i64, rng.below(512) as i64),
+                        )
+                    })
+                    .collect();
+                scan_algorithms::geometry::line_draw::draw_lines_ctx(ctx, &lines);
+            }),
+        },
+        Row {
+            name: "Vector x Matrix",
+            paper_erew: "O(lg n)",
+            paper_scan: "O(1)",
+            run: Box::new(|ctx, n, seed| {
+                let side = (n as f64).sqrt() as usize;
+                let mut rng = Rng::new(seed);
+                let a = scan_algorithms::matrix::Matrix::new(
+                    side,
+                    side,
+                    (0..side * side).map(|_| rng.below(100) as f64).collect(),
+                );
+                let x: Vec<f64> = (0..side).map(|_| rng.below(100) as f64).collect();
+                scan_algorithms::matrix::vec_matrix_ctx(ctx, &x, &a);
+            }),
+        },
+        Row {
+            name: "Matrix x Matrix",
+            paper_erew: "O(n)",
+            paper_scan: "O(n)",
+            run: Box::new(|ctx, n, seed| {
+                let side = (n as f64).sqrt() as usize;
+                let mut rng = Rng::new(seed);
+                let a = scan_algorithms::matrix::Matrix::new(
+                    side,
+                    side,
+                    (0..side * side).map(|_| rng.below(100) as f64).collect(),
+                );
+                scan_algorithms::matrix::mat_mul_ctx(ctx, &a, &a);
+            }),
+        },
+        Row {
+            name: "Linear System Solver",
+            paper_erew: "O(n lg n)",
+            paper_scan: "O(n)",
+            run: Box::new(|ctx, n, seed| {
+                let side = (n as f64).sqrt() as usize;
+                let mut rng = Rng::new(seed);
+                let mut data: Vec<f64> =
+                    (0..side * side).map(|_| rng.below(100) as f64 + 1.0).collect();
+                for i in 0..side {
+                    data[i * side + i] += 1000.0; // well-conditioned
+                }
+                let a = scan_algorithms::matrix::Matrix::new(side, side, data);
+                let b: Vec<f64> = (0..side).map(|_| rng.below(100) as f64).collect();
+                scan_algorithms::matrix::solve_ctx(ctx, &a, &b);
+            }),
+        },
+    ]
+}
+
+fn main() {
+    println!("Table 1 — step complexity, EREW P-RAM vs the scan model");
+    println!("(measured on this repository's scan-based algorithms; the");
+    println!(" paper's asymptotic columns are reprinted for reference)\n");
+    let sizes = [1usize << 10, 1 << 12, 1 << 14];
+    let widths = [28, 8, 10, 10, 7, 11, 12];
+    print_row(
+        &[
+            "algorithm".into(),
+            "n".into(),
+            "EREW".into(),
+            "Scan".into(),
+            "ratio".into(),
+            "paper EREW".into(),
+            "paper Scan".into(),
+        ],
+        &widths,
+    );
+    print_rule(&widths);
+    for row in rows() {
+        let mut ratios = Vec::new();
+        for (k, &n) in sizes.iter().enumerate() {
+            let mut erew = Ctx::new(Model::Erew);
+            (row.run)(&mut erew, n, 42);
+            let mut scan = Ctx::new(Model::Scan);
+            (row.run)(&mut scan, n, 42);
+            let ratio = erew.steps() as f64 / scan.steps().max(1) as f64;
+            ratios.push(ratio);
+            print_row(
+                &[
+                    if k == 0 { row.name.into() } else { String::new() },
+                    n.to_string(),
+                    erew.steps().to_string(),
+                    scan.steps().to_string(),
+                    format!("{ratio:.2}"),
+                    if k == 0 { row.paper_erew.into() } else { String::new() },
+                    if k == 0 { row.paper_scan.into() } else { String::new() },
+                ],
+                &widths,
+            );
+        }
+        print_rule(&widths);
+        let _ = ratios;
+    }
+    println!("\n*  Table 1's EREW sorting row is Cole's O(lg n) mergesort, which no");
+    println!("   one (including the paper, see §2.2.1) considers practical; the");
+    println!("   measured rows show the same scan-based algorithm under both charge");
+    println!("   models, i.e. exactly the factor the scan primitives remove.");
+    println!("** The paper's O(lg lg n) merge row is the CREW bound; the halving");
+    println!("   merge measured here is the paper's §2.5.1 algorithm at p = n.");
+    println!("\nMax Flow is listed in Table 1 but not described in this paper (it");
+    println!("cites [7,8]); it is out of scope — see DESIGN.md. Biconnected");
+    println!("components (also cited out) IS reproduced above, via Tarjan-Vishkin");
+    println!("on this repository's Euler-tour + connectivity machinery.");
+}

@@ -1,0 +1,129 @@
+//! Shared workload generators and table formatting for the
+//! reproduction harness. Each `table*` binary regenerates one table of
+//! the paper; the Criterion benches measure wall clock on the rayon
+//! kernels.
+
+#![warn(missing_docs)]
+
+/// A deterministic splitmix64-based generator (no external RNG needed
+/// in the harness path).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound.max(1)
+    }
+}
+
+/// Random keys bounded by `2^bits`.
+pub fn random_keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    let mut rng = Rng::new(seed);
+    let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+    (0..n).map(|_| rng.next() & mask).collect()
+}
+
+/// A random multigraph with `m` candidate edges (self-loops skipped).
+pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, u64)> {
+    let mut rng = Rng::new(seed);
+    (0..m)
+        .filter_map(|_| {
+            let u = (rng.next() as usize) % n;
+            let v = (rng.next() as usize) % n;
+            (u != v).then(|| (u, v, rng.below(1 << 20)))
+        })
+        .collect()
+}
+
+/// A connected random graph: a random spanning path plus extra edges.
+pub fn connected_graph(n: usize, extra: usize, seed: u64) -> Vec<(usize, usize, u64)> {
+    let mut rng = Rng::new(seed);
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next() as usize) % (i + 1);
+        perm.swap(i, j);
+    }
+    let mut edges: Vec<(usize, usize, u64)> = perm
+        .windows(2)
+        .map(|w| (w[0], w[1], rng.below(1 << 20)))
+        .collect();
+    edges.extend(random_graph(n, extra, seed ^ 0xabcdef));
+    edges
+}
+
+/// Random sorted vector.
+pub fn sorted_keys(n: usize, bits: u32, seed: u64) -> Vec<u64> {
+    let mut v = random_keys(n, bits, seed);
+    v.sort_unstable();
+    v
+}
+
+/// Random points in a square of the given half-extent.
+pub fn random_points(n: usize, extent: i64, seed: u64) -> Vec<(i64, i64)> {
+    let mut rng = Rng::new(seed);
+    (0..n)
+        .map(|_| {
+            (
+                (rng.next() as i64).rem_euclid(2 * extent) - extent,
+                (rng.next() as i64).rem_euclid(2 * extent) - extent,
+            )
+        })
+        .collect()
+}
+
+/// Print a row of right-aligned cells under the given widths.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let row: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("{}", row.join("  "));
+}
+
+/// Print a rule matching the widths.
+pub fn print_rule(widths: &[usize]) {
+    let row: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+    println!("{}", row.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = Rng::new(5);
+        let mut b = Rng::new(5);
+        for _ in 0..10 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn workloads_have_requested_shapes() {
+        assert_eq!(random_keys(100, 8, 1).len(), 100);
+        assert!(random_keys(100, 8, 1).iter().all(|&k| k < 256));
+        let s = sorted_keys(50, 16, 2);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        let g = connected_graph(20, 10, 3);
+        assert!(g.len() >= 19);
+        let p = random_points(30, 100, 4);
+        assert!(p.iter().all(|&(x, y)| x.abs() <= 100 && y.abs() <= 100));
+    }
+}

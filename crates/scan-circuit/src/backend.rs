@@ -1,0 +1,140 @@
+//! The simulated hardware as a `PrimitiveScans` backend.
+//!
+//! `scan_core::simulate` builds every scan in the paper out of two
+//! primitives. Plugging this backend in runs those constructions on the
+//! cycle-accurate circuit — the full §3 + §3.4 stack, in software.
+
+use std::cell::RefCell;
+
+use scan_core::simulate::PrimitiveScans;
+
+use crate::tree::{OpKind, TreeScanCircuit};
+
+/// A [`PrimitiveScans`] implementation that executes every primitive on
+/// the simulated tree circuit, growing the tree (by powers of two) as
+/// needed and padding inputs with the identity.
+///
+/// Also counts the bit cycles consumed, so experiments can report
+/// simulated hardware time.
+#[derive(Debug)]
+pub struct CircuitBackend {
+    m_bits: u32,
+    circuit: RefCell<Option<TreeScanCircuit>>,
+    cycles: RefCell<u64>,
+    scans: RefCell<u64>,
+}
+
+impl CircuitBackend {
+    /// A backend operating on `m`-bit fields (1..=64).
+    pub fn new(m_bits: u32) -> Self {
+        assert!((1..=64).contains(&m_bits));
+        CircuitBackend {
+            m_bits,
+            circuit: RefCell::new(None),
+            cycles: RefCell::new(0),
+            scans: RefCell::new(0),
+        }
+    }
+
+    /// Total bit cycles consumed by all scans so far.
+    pub fn cycles(&self) -> u64 {
+        *self.cycles.borrow()
+    }
+
+    /// Number of primitive scans executed.
+    pub fn scans(&self) -> u64 {
+        *self.scans.borrow()
+    }
+
+    /// The field width in bits.
+    pub fn m_bits(&self) -> u32 {
+        self.m_bits
+    }
+
+    fn run(&self, op: OpKind, a: &[u64]) -> Vec<u64> {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        let n = a.len().next_power_of_two();
+        let mut slot = self.circuit.borrow_mut();
+        let needs_new = slot.as_ref().map_or(true, |c| c.n_leaves() < n);
+        if needs_new {
+            *slot = Some(TreeScanCircuit::new(n));
+        }
+        let circuit = slot.as_mut().expect("circuit initialized above");
+        let run = circuit.scan(op, a, self.m_bits);
+        *self.cycles.borrow_mut() += run.cycles;
+        *self.scans.borrow_mut() += 1;
+        run.values
+    }
+}
+
+impl PrimitiveScans for CircuitBackend {
+    fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(OpKind::Plus, a)
+    }
+
+    fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(OpKind::Max, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_core::op::{Max, Min, Or, Sum};
+    use scan_core::segmented::{seg_scan, Segments};
+    use scan_core::simulate;
+
+    #[test]
+    fn primitives_match_software() {
+        let b = CircuitBackend::new(16);
+        let a = [5u64, 1, 3, 4, 3, 9, 2, 6, 100];
+        assert_eq!(b.plus_scan(&a), scan_core::scan::<Sum, _>(&a));
+        assert_eq!(b.max_scan(&a), scan_core::scan::<Max, _>(&a));
+        assert_eq!(b.scans(), 2);
+        assert!(b.cycles() > 0);
+    }
+
+    #[test]
+    fn simulated_min_scan_on_hardware() {
+        // min-scan = invert ∘ max-scan ∘ invert needs full-width fields.
+        let b = CircuitBackend::new(64);
+        let a = [7u64, 3, 9, 1];
+        assert_eq!(simulate::min_scan_u64(&b, &a), scan_core::scan::<Min, _>(&a));
+    }
+
+    #[test]
+    fn simulated_or_scan_on_hardware() {
+        let b = CircuitBackend::new(1);
+        let a = [false, true, false, false, true];
+        assert_eq!(simulate::or_scan(&b, &a), scan_core::scan::<Or, _>(&a));
+    }
+
+    #[test]
+    fn figure16_on_hardware() {
+        let b = CircuitBackend::new(16);
+        let a = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        let segs = Segments::from_flags(vec![
+            true, false, true, false, false, false, true, false,
+        ]);
+        let got = simulate::seg_max_scan_via_primitives(&b, &a, &segs, 8).unwrap();
+        assert_eq!(got, seg_scan::<Max, _>(&a, &segs));
+    }
+
+    #[test]
+    fn circuit_grows_and_is_reused() {
+        let b = CircuitBackend::new(8);
+        b.plus_scan(&[1, 2, 3]);
+        b.plus_scan(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        b.plus_scan(&[1]);
+        assert_eq!(b.scans(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        let b = CircuitBackend::new(8);
+        assert!(b.plus_scan(&[]).is_empty());
+        assert_eq!(b.scans(), 0);
+    }
+}

@@ -1,0 +1,170 @@
+//! Hardware cost accounting (§3.2–§3.3, Table 2).
+//!
+//! "The total hardware needed for scanning n values is n − 1 shift
+//! registers and 2(n − 1) sum state machines. ... only two wires are
+//! needed to leave every branch of the tree."
+
+/// Component counts for a scan tree over `n` leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareCost {
+    /// Number of leaves (processors served).
+    pub n_leaves: usize,
+    /// Tree units (`n − 1`).
+    pub units: usize,
+    /// Sum state machines (`2(n − 1)` — one up, one down per unit).
+    pub state_machines: usize,
+    /// Shift registers (`n − 1`).
+    pub shift_registers: usize,
+    /// Total FIFO storage bits (`Σ 2·depth(unit)`).
+    pub fifo_bits: usize,
+    /// Single-bit unidirectional wires (`2` per tree edge).
+    pub wires: usize,
+}
+
+impl HardwareCost {
+    /// Cost of a scan tree over `n` leaves (power of two).
+    ///
+    /// # Panics
+    /// If `n` is zero or not a power of two.
+    pub fn for_leaves(n: usize) -> Self {
+        assert!(n.is_power_of_two() && n >= 1);
+        let units = n - 1;
+        // Unit k (heap order) is at depth floor(lg k); FIFO length 2·depth.
+        let fifo_bits: usize = (1..n).map(|k: usize| 2 * k.ilog2() as usize).sum();
+        HardwareCost {
+            n_leaves: n,
+            units,
+            state_machines: 2 * units,
+            shift_registers: units,
+            // Edges: n leaf edges + (n - 2) internal edges; 2 wires each.
+            wires: 2 * (n + units.saturating_sub(1)),
+            fifo_bits,
+        }
+    }
+
+    /// Total circuit size in *components* — sum state machines plus
+    /// shift registers, the inventory §3.2 counts ("n − 1 shift
+    /// registers and 2(n − 1) sum state machines"). Linear in `n`: the
+    /// `O(n)` circuit-size row of Table 2. (The FIFO *storage bits* sum
+    /// to `Θ(n lg n)`, tracked separately in [`HardwareCost::fifo_bits`];
+    /// a storage bit is far cheaper than a logic component.)
+    pub fn size_components(&self) -> usize {
+        self.state_machines + self.shift_registers
+    }
+}
+
+/// The example system of §3.3: 4096 processors, 64 processors per
+/// board, 64 boards, one 64-input scan chip per board plus one more
+/// combining the boards.
+#[derive(Debug, Clone, Copy)]
+pub struct ExampleSystem {
+    /// Processors in the machine.
+    pub processors: usize,
+    /// Processors (scan inputs) per board.
+    pub per_board: usize,
+    /// Clock period in nanoseconds.
+    pub clock_ns: f64,
+}
+
+impl ExampleSystem {
+    /// The paper's 4096-processor configuration at a 100 ns clock.
+    pub fn paper_config() -> Self {
+        ExampleSystem {
+            processors: 4096,
+            per_board: 64,
+            clock_ns: 100.0,
+        }
+    }
+
+    /// Number of boards.
+    pub fn boards(&self) -> usize {
+        self.processors / self.per_board
+    }
+
+    /// Tree levels handled by one board-level chip (`lg per_board`).
+    pub fn levels_per_chip(&self) -> u32 {
+        self.per_board.trailing_zeros()
+    }
+
+    /// Sum state machines on one chip: a 64-input chip is 6 levels of
+    /// the tree, i.e. 63 units → "126 sum state machines and 63 shift
+    /// registers".
+    pub fn state_machines_per_chip(&self) -> usize {
+        2 * (self.per_board - 1)
+    }
+
+    /// Shift registers on one chip.
+    pub fn shift_registers_per_chip(&self) -> usize {
+        self.per_board - 1
+    }
+
+    /// Clock cycles for a scan on an `m`-bit field: `m + 2 lg n`.
+    pub fn scan_cycles(&self, m_bits: u32) -> u64 {
+        m_bits as u64 + 2 * (self.processors.trailing_zeros() as u64)
+    }
+
+    /// Wall-clock time of a scan on an `m`-bit field, in microseconds.
+    pub fn scan_time_us(&self, m_bits: u32) -> f64 {
+        self.scan_cycles(m_bits) as f64 * self.clock_ns / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_component_counts() {
+        // "The total hardware needed for scanning n values is n − 1
+        // shift registers and 2(n − 1) sum state machines."
+        let c = HardwareCost::for_leaves(64);
+        assert_eq!(c.units, 63);
+        assert_eq!(c.state_machines, 126);
+        assert_eq!(c.shift_registers, 63);
+    }
+
+    #[test]
+    fn fifo_bits_sum() {
+        // n = 8: depths 0,1,1,2,2,2,2 → 2·(0+1+1+2+2+2+2) = 20.
+        let c = HardwareCost::for_leaves(8);
+        assert_eq!(c.fifo_bits, 20);
+    }
+
+    #[test]
+    fn size_is_linear() {
+        // Component count exactly doubles (minus a constant) with n.
+        let s16k = HardwareCost::for_leaves(1 << 14).size_components();
+        let s32k = HardwareCost::for_leaves(1 << 15).size_components();
+        assert_eq!(s16k, 3 * ((1 << 14) - 1));
+        assert_eq!(s32k, 3 * ((1 << 15) - 1));
+    }
+
+    #[test]
+    fn example_system_paper_numbers() {
+        let sys = ExampleSystem::paper_config();
+        assert_eq!(sys.boards(), 64);
+        assert_eq!(sys.levels_per_chip(), 6);
+        assert_eq!(sys.state_machines_per_chip(), 126);
+        assert_eq!(sys.shift_registers_per_chip(), 63);
+        // "If the clock period is 100 nanoseconds, a scan on a 32 bit
+        // field would require 5 microseconds."
+        let t = sys.scan_time_us(32);
+        assert!((t - 5.6).abs() < 0.7, "got {t} µs, paper says ~5 µs");
+        // "With a ... 10 nanoseconds clock ... reduced to .5 microseconds."
+        let fast = ExampleSystem {
+            clock_ns: 10.0,
+            ..sys
+        };
+        let t = fast.scan_time_us(32);
+        assert!((t - 0.56).abs() < 0.1, "got {t} µs, paper says ~0.5 µs");
+    }
+
+    #[test]
+    fn wires_per_subtree_is_two() {
+        // The defining property: a subtree is attached by one up and one
+        // down wire, so wires grow linearly with nodes, not with cut
+        // width.
+        let c = HardwareCost::for_leaves(1024);
+        assert_eq!(c.wires, 2 * (1024 + 1022));
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the cycle-accurate circuit must agree with the
+//! word-level scan for arbitrary inputs, widths and tree sizes, and its
+//! cycle count must match the paper's pipeline bound.
+
+use proptest::prelude::*;
+use scan_circuit::{tree_scan_trace, OpKind, TreeScanCircuit};
+
+fn ref_scan(op: OpKind, values: &[u64], m: u32) -> Vec<u64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut acc = 0u64;
+    for &v in values {
+        out.push(acc);
+        acc = op.apply(acc, v, m);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn circuit_plus_scan_matches_reference(
+        lg_n in 0u32..7,
+        m in 1u32..33,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << lg_n;
+        let mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let mut state = seed | 1;
+        let values: Vec<u64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 16) & mask
+        }).collect();
+        let mut c = TreeScanCircuit::new(n);
+        let run = c.scan(OpKind::Plus, &values, m);
+        prop_assert_eq!(&run.values, &ref_scan(OpKind::Plus, &values, m));
+        // Pipeline bound: measured latency is m + 2 lg n − 1 ≤ m + 2 lg n.
+        prop_assert!(run.cycles <= c.cycle_bound(m));
+        if n > 1 {
+            prop_assert_eq!(run.cycles, m as u64 + 2 * lg_n as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn circuit_max_scan_matches_reference(
+        lg_n in 0u32..7,
+        m in 1u32..33,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << lg_n;
+        let mask = if m == 64 { u64::MAX } else { (1u64 << m) - 1 };
+        let mut state = seed | 1;
+        let values: Vec<u64> = (0..n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
+            (state >> 16) & mask
+        }).collect();
+        let mut c = TreeScanCircuit::new(n);
+        let run = c.scan(OpKind::Max, &values, m);
+        prop_assert_eq!(&run.values, &ref_scan(OpKind::Max, &values, m));
+    }
+
+    #[test]
+    fn trace_matches_circuit(lg_n in 0u32..6, seed in any::<u64>()) {
+        let n = 1usize << lg_n;
+        let mut state = seed | 1;
+        let values: Vec<u64> = (0..n).map(|_| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 40) & 0xFFFF
+        }).collect();
+        for op in [OpKind::Plus, OpKind::Max] {
+            let trace = tree_scan_trace(op, &values, 16);
+            let mut c = TreeScanCircuit::new(n);
+            prop_assert_eq!(&trace.result, &c.scan(op, &values, 16).values);
+        }
+    }
+}

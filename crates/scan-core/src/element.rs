@@ -1,0 +1,38 @@
+//! The element trait that scan values must satisfy.
+//!
+//! The paper's vectors hold fixed-width machine words (integers, booleans,
+//! and floating-point values). Anything `Copy + Send + Sync` with value
+//! equality works here; the blanket impl covers all primitive numeric
+//! types.
+
+use core::fmt::Debug;
+
+/// Marker trait for types that can live in a scan-model vector.
+///
+/// Automatically implemented for every `Copy + Send + Sync + PartialEq +
+/// Debug + 'static` type, which includes all primitive integers, floats,
+/// `bool`, and small tuples/structs of those.
+pub trait ScanElem: Copy + Send + Sync + PartialEq + Debug + 'static {}
+
+impl<T> ScanElem for T where T: Copy + Send + Sync + PartialEq + Debug + 'static {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_scan_elem<T: ScanElem>() {}
+
+    #[test]
+    fn primitives_are_elements() {
+        assert_scan_elem::<u8>();
+        assert_scan_elem::<u32>();
+        assert_scan_elem::<u64>();
+        assert_scan_elem::<usize>();
+        assert_scan_elem::<i32>();
+        assert_scan_elem::<i64>();
+        assert_scan_elem::<f32>();
+        assert_scan_elem::<f64>();
+        assert_scan_elem::<bool>();
+        assert_scan_elem::<(u32, bool)>();
+    }
+}

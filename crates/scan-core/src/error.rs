@@ -1,0 +1,92 @@
+//! Error type for the checked (`try_*`) vector operations.
+
+use core::fmt;
+
+/// Errors reported by checked vector operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Two vectors that must have equal length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        expected: usize,
+        /// Length of the offending operand.
+        actual: usize,
+    },
+    /// A permute index vector contained the same destination twice.
+    ///
+    /// The paper (§2.1) requires all indices of a `permute` to be unique;
+    /// on an EREW P-RAM a duplicate destination would be a concurrent
+    /// write.
+    DuplicateIndex {
+        /// The destination index written more than once.
+        index: usize,
+    },
+    /// An index pointed outside the destination vector.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// Length of the destination vector.
+        len: usize,
+    },
+    /// A value did not fit in the bit width available for a simulated
+    /// composite scan (see [`crate::simulate`]).
+    WidthOverflow {
+        /// Bits required.
+        required: u32,
+        /// Bits available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            Error::DuplicateIndex { index } => {
+                write!(f, "duplicate permute destination index {index}")
+            }
+            Error::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for vector of length {len}")
+            }
+            Error::WidthOverflow {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "composite scan needs {required} bits but only {available} are available"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias using [`Error`].
+pub type Result<T> = core::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = Error::LengthMismatch {
+            expected: 4,
+            actual: 3,
+        };
+        assert_eq!(e.to_string(), "length mismatch: expected 4, got 3");
+        let e = Error::DuplicateIndex { index: 7 };
+        assert_eq!(e.to_string(), "duplicate permute destination index 7");
+        let e = Error::IndexOutOfBounds { index: 9, len: 4 };
+        assert_eq!(e.to_string(), "index 9 out of bounds for vector of length 4");
+        let e = Error::WidthOverflow {
+            required: 70,
+            available: 64,
+        };
+        assert!(e.to_string().contains("70 bits"));
+    }
+}

@@ -1,0 +1,464 @@
+//! The "simple operations" of paper §2.2 plus the data-movement
+//! operations of §2.1: `enumerate`, `copy`, `⊕-distribute`, `permute`,
+//! `split`, `pack`, and friends. All have `O(1)` step complexity in the
+//! scan model.
+
+use crate::element::ScanElem;
+use crate::error::{Error, Result};
+use crate::op::{ScanOp, Sum};
+use crate::parallel;
+use crate::scan::{reduce, scan, scan_backward, scan_with_total};
+
+/// `enumerate` (Figure 1): the `i`-th *true* element receives the count
+/// of true elements strictly before it.
+///
+/// Implemented, as in the paper, by converting the flags to 0/1 and
+/// executing a `+-scan`.
+///
+/// ```
+/// use scan_core::ops::enumerate;
+/// // Figure 1: Flag = [T F F T F T T F] -> [0 1 1 1 2 2 3 4]
+/// let f = [true, false, false, true, false, true, true, false];
+/// assert_eq!(enumerate(&f), vec![0, 1, 1, 1, 2, 2, 3, 4]);
+/// ```
+pub fn enumerate(flags: &[bool]) -> Vec<usize> {
+    let ones = parallel::map_by(flags, usize::from);
+    scan::<Sum, _>(&ones)
+}
+
+/// Backward `enumerate`: the `i`-th true element receives the count of
+/// true elements strictly *after* it (used by `split`, Figure 3).
+pub fn back_enumerate(flags: &[bool]) -> Vec<usize> {
+    let ones = parallel::map_by(flags, usize::from);
+    scan_backward::<Sum, _>(&ones)
+}
+
+/// Number of true flags.
+pub fn count(flags: &[bool]) -> usize {
+    let ones = parallel::map_by(flags, usize::from);
+    reduce::<Sum, _>(&ones)
+}
+
+/// `copy` (Figure 1): copy the first element over all elements.
+///
+/// The paper implements this by placing the identity everywhere but the
+/// first position and scanning; at the library level the effect is a
+/// broadcast fill.
+///
+/// # Panics
+/// If `a` is empty.
+pub fn copy_first<T: ScanElem>(a: &[T]) -> Vec<T> {
+    assert!(!a.is_empty(), "copy of an empty vector");
+    vec![a[0]; a.len()]
+}
+
+/// `⊕-distribute` (Figure 1): every element receives the reduction of
+/// the whole vector (`+-distribute`, `max-distribute`, ... depending on
+/// `O`). Implemented as a scan plus a backward copy, per the paper.
+///
+/// ```
+/// use scan_core::{ops::distribute_op, op::Sum};
+/// // Figure 1: B = [1 1 2 1 1 2 1 1] -> [10 10 10 10 10 10 10 10]
+/// let b = [1u32, 1, 2, 1, 1, 2, 1, 1];
+/// assert_eq!(distribute_op::<Sum, _>(&b), vec![10; 8]);
+/// ```
+pub fn distribute_op<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
+    let total = reduce::<O, T>(a);
+    vec![total; a.len()]
+}
+
+/// `permute` (§2.1): move `a[i]` to position `indices[i]` of the result.
+/// All indices must be unique and in range — on an EREW P-RAM a
+/// duplicate would be a concurrent write.
+///
+/// This is the checked version; see [`permute_unchecked`] for the
+/// fast path used inside the algorithms once indices are known-valid.
+pub fn try_permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
+    if a.len() != indices.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len(),
+            actual: indices.len(),
+        });
+    }
+    let mut seen = vec![false; a.len()];
+    for &ix in indices {
+        if ix >= a.len() {
+            return Err(Error::IndexOutOfBounds {
+                index: ix,
+                len: a.len(),
+            });
+        }
+        if seen[ix] {
+            return Err(Error::DuplicateIndex { index: ix });
+        }
+        seen[ix] = true;
+    }
+    Ok(permute_unchecked(a, indices))
+}
+
+/// `permute` (§2.1), panicking on invalid indices.
+///
+/// ```
+/// use scan_core::ops::permute;
+/// // §2.1: permute([a0..a7], [2 5 4 3 1 6 0 7]) = [a6 a4 a0 a3 a2 a1 a5 a7]
+/// let a = ["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"];
+/// let i = [2, 5, 4, 3, 1, 6, 0, 7];
+/// assert_eq!(permute(&a, &i), vec!["a6", "a4", "a0", "a3", "a2", "a1", "a5", "a7"]);
+/// ```
+///
+/// # Panics
+/// On length mismatch, out-of-range index, or duplicate index.
+pub fn permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
+    try_permute(a, indices).expect("invalid permute")
+}
+
+/// Scatter without the permutation check: `out[indices[i]] = a[i]`.
+/// In debug builds the indices are fully validated; in release an
+/// out-of-range index still panics, and a duplicate index (a caller
+/// bug) leaves the skipped slot holding `a[0]` — wrong data, but
+/// never uninitialized memory.
+///
+/// # Panics
+/// On length mismatch or an out-of-range index (both builds); on a
+/// duplicate index in debug builds.
+pub fn permute_unchecked<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
+    assert_eq!(a.len(), indices.len(), "permute length mismatch");
+    #[cfg(debug_assertions)]
+    {
+        let mut seen = vec![false; a.len()];
+        for &ix in indices {
+            debug_assert!(ix < a.len(), "permute index out of range");
+            debug_assert!(!seen[ix], "duplicate permute index");
+            seen[ix] = true;
+        }
+    }
+    if a.is_empty() {
+        return Vec::new();
+    }
+    // Pre-fill so every slot is initialized even if the caller breaks
+    // the uniqueness contract; the fill is a cheap memset-like pass for
+    // `Copy` elements.
+    let mut out: Vec<T> = vec![a[0]; a.len()];
+    for (i, &ix) in indices.iter().enumerate() {
+        out[ix] = a[i];
+    }
+    out
+}
+
+/// Gather: `out[i] = a[indices[i]]`. The read-side dual of `permute`.
+/// The result has the length of `indices`, which may differ from `a`.
+///
+/// On an EREW P-RAM this is an exclusive read only when the indices are
+/// unique; with repeats it is a concurrent read (CREW). The paper's
+/// cross-pointer traversals use unique indices; its `copy` patterns use
+/// repeated ones, which the scan model expresses with scans instead.
+///
+/// # Panics
+/// If an index is out of range.
+pub fn gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&ix| a[ix]).collect()
+}
+
+/// The `split` operation (§2.2.1, Figure 3): pack elements whose flag is
+/// `false` to the bottom of the vector and elements whose flag is `true`
+/// to the top, preserving order within both groups.
+///
+/// ```
+/// use scan_core::ops::split;
+/// // Figure 3: A = [5 7 3 1 4 2 7 2], Flags = [T T T T F F T F]
+/// let a = [5u32, 7, 3, 1, 4, 2, 7, 2];
+/// let f = [true, true, true, true, false, false, true, false];
+/// assert_eq!(split(&a, &f), vec![4, 2, 2, 5, 7, 3, 1, 7]);
+/// ```
+///
+/// # Panics
+/// If lengths differ.
+pub fn split<T: ScanElem>(a: &[T], flags: &[bool]) -> Vec<T> {
+    split_count(a, flags).0
+}
+
+/// [`split`], also returning the number of `false` elements (the index
+/// where the `true` group begins).
+pub fn split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> (Vec<T>, usize) {
+    assert_eq!(a.len(), flags.len(), "split length mismatch");
+    let n = a.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let not_flags = parallel::map_by(flags, |f| !f);
+    let (i_down, n_false) = {
+        let ones = parallel::map_by(&not_flags, usize::from);
+        scan_with_total::<Sum, _>(&ones)
+    };
+    let i_up = back_enumerate(flags);
+    // Figure 3: I-up = n - back-enumerate(Flags) - 1
+    let index: Vec<usize> = (0..n)
+        .map(|i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] })
+        .collect();
+    (permute_unchecked(a, &index), n_false)
+}
+
+/// Destination index of each element under [`split`] without moving
+/// data. Useful when several vectors must be split by the same flags.
+pub fn split_index(flags: &[bool]) -> Vec<usize> {
+    let n = flags.len();
+    let not_flags = parallel::map_by(flags, |f| !f);
+    let ones = parallel::map_by(&not_flags, usize::from);
+    let i_down = scan::<Sum, _>(&ones);
+    let i_up = back_enumerate(flags);
+    (0..n)
+        .map(|i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] })
+        .collect()
+}
+
+/// Three-way split keys for [`split3`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bucket {
+    /// Goes to the bottom group.
+    Lo,
+    /// Goes to the middle group.
+    Mid,
+    /// Goes to the top group.
+    Hi,
+}
+
+/// Three-way split (used by quicksort, §2.3.1): `Lo` elements first,
+/// then `Mid`, then `Hi`, each group in original order. Returns the
+/// permuted vector and the sizes of the `Lo` and `Mid` groups.
+pub fn split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> (Vec<T>, usize, usize) {
+    assert_eq!(a.len(), buckets.len(), "split3 length mismatch");
+    let index = split3_index(buckets);
+    let n_lo = buckets.iter().filter(|&&b| b == Bucket::Lo).count();
+    let n_mid = buckets.iter().filter(|&&b| b == Bucket::Mid).count();
+    (permute_unchecked(a, &index), n_lo, n_mid)
+}
+
+/// Destination index of each element under [`split3`].
+pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
+    let lo: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Lo)).collect();
+    let mid: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Mid)).collect();
+    let (lo_scan, n_lo) = scan_with_total::<Sum, _>(&lo);
+    let (mid_scan, n_mid) = scan_with_total::<Sum, _>(&mid);
+    let hi: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Hi)).collect();
+    let hi_scan = scan::<Sum, _>(&hi);
+    buckets
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| match b {
+            Bucket::Lo => lo_scan[i],
+            Bucket::Mid => n_lo + mid_scan[i],
+            Bucket::Hi => n_lo + n_mid + hi_scan[i],
+        })
+        .collect()
+}
+
+/// The `pack` operation (§2.5, Figure 11): keep only the elements whose
+/// flag is `true`, preserving order, in a vector of exactly that length.
+///
+/// Implemented with an `enumerate` and a permute into the shorter
+/// vector, as the paper's load balancing does.
+pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
+    assert_eq!(a.len(), keep.len(), "pack length mismatch");
+    let (dest, total) = {
+        let ones = parallel::map_by(keep, usize::from);
+        scan_with_total::<Sum, _>(&ones)
+    };
+    let mut out: Vec<T> = Vec::with_capacity(total);
+    // Safety: `enumerate` assigns the kept elements the distinct indices
+    // 0..total in order, so every slot is written exactly once.
+    unsafe {
+        let p = out.as_mut_ptr();
+        for i in 0..a.len() {
+            if keep[i] {
+                p.add(dest[i]).write(a[i]);
+            }
+        }
+        out.set_len(total);
+    }
+    out
+}
+
+/// Indices (into the original vector) of the kept elements, in order.
+pub fn pack_indices(keep: &[bool]) -> Vec<usize> {
+    let idx: Vec<usize> = (0..keep.len()).collect();
+    pack(&idx, keep)
+}
+
+/// Merge two vectors under the direction of a *merge-flag vector*
+/// (§2.5.1): `flags.len() == a.len() + b.len()`; position `i` of the
+/// result takes the next unused element of `a` when `flags[i]` is
+/// `false` and of `b` when it is `true`.
+///
+/// This is the inverse view of the halving merge's flag output: the
+/// flag vector "both uniquely specifies how the elements should be
+/// merged and specifies in which position each element belongs".
+///
+/// # Panics
+/// If `flags.len() != a.len() + b.len()` or the flag counts do not
+/// match the vector lengths.
+pub fn flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(
+        flags.len(),
+        a.len() + b.len(),
+        "flag_merge length mismatch"
+    );
+    let n_true = count(flags);
+    assert_eq!(n_true, b.len(), "flag_merge: true-count must equal b.len()");
+    let a_pos = enumerate(&parallel::map_by(flags, |f| !f));
+    let b_pos = enumerate(flags);
+    flags
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| if f { b[b_pos[i]] } else { a[a_pos[i]] })
+        .collect()
+}
+
+/// Elementwise select: `if flags[i] { t[i] } else { e[i] }` (the paper's
+/// `if ... then ... else` vector form, Figure 3).
+pub fn select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Vec<T> {
+    assert_eq!(flags.len(), t.len(), "select length mismatch");
+    assert_eq!(flags.len(), e.len(), "select length mismatch");
+    (0..flags.len())
+        .map(|i| if flags[i] { t[i] } else { e[i] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Max;
+
+    #[test]
+    fn figure1_enumerate() {
+        let f = [true, false, false, true, false, true, true, false];
+        assert_eq!(enumerate(&f), vec![0, 1, 1, 1, 2, 2, 3, 4]);
+    }
+
+    #[test]
+    fn figure1_copy() {
+        let a = [5u32, 1, 3, 4, 3, 9, 2, 6];
+        assert_eq!(copy_first(&a), vec![5; 8]);
+    }
+
+    #[test]
+    fn figure1_plus_distribute() {
+        let b = [1u32, 1, 2, 1, 1, 2, 1, 1];
+        assert_eq!(distribute_op::<Sum, _>(&b), vec![10; 8]);
+    }
+
+    #[test]
+    fn max_distribute() {
+        let b = [1u32, 7, 2, 5];
+        assert_eq!(distribute_op::<Max, _>(&b), vec![7; 4]);
+    }
+
+    #[test]
+    fn paper_permute_example() {
+        let a = [10u32, 11, 12, 13, 14, 15, 16, 17];
+        let i = [2, 5, 4, 3, 1, 6, 0, 7];
+        assert_eq!(permute(&a, &i), vec![16, 14, 10, 13, 12, 11, 15, 17]);
+    }
+
+    #[test]
+    fn permute_rejects_bad_indices() {
+        assert_eq!(
+            try_permute(&[1u32, 2], &[0, 0]),
+            Err(Error::DuplicateIndex { index: 0 })
+        );
+        assert_eq!(
+            try_permute(&[1u32, 2], &[0, 5]),
+            Err(Error::IndexOutOfBounds { index: 5, len: 2 })
+        );
+        assert_eq!(
+            try_permute(&[1u32, 2], &[0]),
+            Err(Error::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    fn figure3_split() {
+        let a = [5u32, 7, 3, 1, 4, 2, 7, 2];
+        let f = [true, true, true, true, false, false, true, false];
+        // I-down = [0 0 0 0 0 1 2 2], I-up = [3 4 5 6 6 6 7 7] (as n-1-back)
+        assert_eq!(split_index(&f), vec![3, 4, 5, 6, 0, 1, 7, 2]);
+        let (s, nf) = split_count(&a, &f);
+        assert_eq!(s, vec![4, 2, 2, 5, 7, 3, 1, 7]);
+        assert_eq!(nf, 3);
+    }
+
+    #[test]
+    fn split_all_false_and_all_true() {
+        let a = [1u32, 2, 3];
+        assert_eq!(split(&a, &[false; 3]), vec![1, 2, 3]);
+        assert_eq!(split(&a, &[true; 3]), vec![1, 2, 3]);
+        let e: [u32; 0] = [];
+        assert!(split(&e, &[]).is_empty());
+    }
+
+    #[test]
+    fn split3_groups() {
+        use Bucket::*;
+        let a = [9u32, 1, 5, 5, 2, 8, 5];
+        let b = [Hi, Lo, Mid, Mid, Lo, Hi, Mid];
+        let (s, n_lo, n_mid) = split3(&a, &b);
+        assert_eq!(s, vec![1, 2, 5, 5, 5, 9, 8]);
+        assert_eq!((n_lo, n_mid), (2, 3));
+    }
+
+    #[test]
+    fn pack_figure11_style() {
+        // Figure 11: F = [T F F F T T F T T T T T]
+        let f = [
+            true, false, false, false, true, true, false, true, true, true, true, true,
+        ];
+        let a: Vec<u32> = (0..12).collect();
+        assert_eq!(pack(&a, &f), vec![0, 4, 5, 7, 8, 9, 10, 11]);
+        assert_eq!(pack_indices(&f), vec![0, 4, 5, 7, 8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn pack_none_and_all() {
+        let a = [1u32, 2, 3];
+        assert!(pack(&a, &[false; 3]).is_empty());
+        assert_eq!(pack(&a, &[true; 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn flag_merge_basic() {
+        // halving-merge(A', B') = [F T T F F T] -> [1 3 9 10 15 23]
+        let flags = [false, true, true, false, false, true];
+        let a = [1u32, 10, 15];
+        let b = [3u32, 9, 23];
+        assert_eq!(flag_merge(&flags, &a, &b), vec![1, 3, 9, 10, 15, 23]);
+    }
+
+    #[test]
+    #[should_panic(expected = "true-count")]
+    fn flag_merge_bad_counts() {
+        flag_merge(&[true, true], &[1u32], &[2u32]);
+    }
+
+    #[test]
+    fn select_vectors() {
+        let f = [true, false, true];
+        assert_eq!(select(&f, &[1u32, 2, 3], &[9, 8, 7]), vec![1, 8, 3]);
+    }
+
+    #[test]
+    fn gather_is_permute_inverse() {
+        let a = [10u32, 11, 12, 13];
+        let idx = [2, 0, 3, 1];
+        let p = permute(&a, &idx);
+        assert_eq!(gather(&p, &idx), a.to_vec());
+    }
+
+    #[test]
+    fn count_and_back_enumerate() {
+        let f = [true, false, true, true];
+        assert_eq!(count(&f), 3);
+        assert_eq!(back_enumerate(&f), vec![2, 2, 1, 0]);
+    }
+}

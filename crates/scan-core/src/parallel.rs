@@ -1,0 +1,260 @@
+//! The execution engine: blocked two-pass parallel scans over rayon.
+//!
+//! Every scan in this crate funnels through [`exclusive_scan_by`] /
+//! [`inclusive_scan_by`], which take the operator as a closure so that
+//! composite operators (e.g. the segmented-scan pair operator, see
+//! [`crate::segmented`]) reuse the same engine.
+//!
+//! The parallel algorithm is the classic work-efficient two-pass scheme,
+//! which is the flat rendering of the tree algorithm of the paper's §3.1:
+//!
+//! 1. **Up sweep** — split the input into `B` contiguous blocks; each
+//!    worker reduces its block (`B` partial sums).
+//! 2. Exclusive scan of the `B` block sums (tiny, sequential).
+//! 3. **Down sweep** — each worker re-scans its block locally, seeded
+//!    with its block's offset from step 2.
+//!
+//! Total work is `2n` combines — twice sequential, like the paper's tree
+//! circuit — and span is `O(n/p + p)`. Below [`PAR_THRESHOLD`] elements
+//! the sequential loop wins and is used directly.
+
+use rayon::prelude::*;
+
+/// Inputs shorter than this are scanned sequentially; the fork/join and
+/// extra pass overhead does not pay for itself below roughly this size.
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Sequential exclusive scan with an explicit operator. Reference
+/// implementation for the whole crate: everything else must agree with it.
+pub fn seq_exclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(a.len());
+    let mut acc = identity;
+    for &x in a {
+        out.push(acc);
+        acc = f(acc, x);
+    }
+    out
+}
+
+/// Sequential inclusive scan with an explicit operator.
+pub fn seq_inclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut out = Vec::with_capacity(a.len());
+    let mut acc = identity;
+    for &x in a {
+        acc = f(acc, x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Sequential reduction with an explicit operator.
+pub fn seq_reduce_by<T, F>(a: &[T], identity: T, f: F) -> T
+where
+    T: Copy,
+    F: Fn(T, T) -> T,
+{
+    let mut acc = identity;
+    for &x in a {
+        acc = f(acc, x);
+    }
+    acc
+}
+
+fn block_size(n: usize) -> usize {
+    // Aim for ~4 blocks per worker so the tail imbalance stays small,
+    // but keep blocks large enough to amortize the second pass.
+    let workers = rayon::current_num_threads().max(1);
+    (n / (4 * workers)).max(PAR_THRESHOLD / 4).max(1)
+}
+
+/// Exclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
+///
+/// `f` must be associative with identity `identity`; the blocked schedule
+/// reassociates combines across blocks.
+pub fn exclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if a.len() < PAR_THRESHOLD {
+        return seq_exclusive_scan_by(a, identity, f);
+    }
+    let bs = block_size(a.len());
+    // Up sweep: one partial reduction per block.
+    let partials: Vec<T> = a
+        .par_chunks(bs)
+        .map(|c| seq_reduce_by(c, identity, &f))
+        .collect();
+    // Scan of block sums (small, sequential).
+    let offsets = seq_exclusive_scan_by(&partials, identity, &f);
+    // Down sweep: local exclusive scan seeded with the block offset.
+    let mut out: Vec<T> = vec![identity; a.len()];
+    out.par_chunks_mut(bs)
+        .zip(a.par_chunks(bs))
+        .zip(offsets.par_iter())
+        .for_each(|((out_c, in_c), &off)| {
+            let mut acc = off;
+            for (o, &x) in out_c.iter_mut().zip(in_c) {
+                *o = acc;
+                acc = f(acc, x);
+            }
+        });
+    out
+}
+
+/// Inclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
+pub fn inclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if a.len() < PAR_THRESHOLD {
+        return seq_inclusive_scan_by(a, identity, f);
+    }
+    let bs = block_size(a.len());
+    let partials: Vec<T> = a
+        .par_chunks(bs)
+        .map(|c| seq_reduce_by(c, identity, &f))
+        .collect();
+    let offsets = seq_exclusive_scan_by(&partials, identity, &f);
+    let mut out: Vec<T> = vec![identity; a.len()];
+    out.par_chunks_mut(bs)
+        .zip(a.par_chunks(bs))
+        .zip(offsets.par_iter())
+        .for_each(|((out_c, in_c), &off)| {
+            let mut acc = off;
+            for (o, &x) in out_c.iter_mut().zip(in_c) {
+                acc = f(acc, x);
+                *o = acc;
+            }
+        });
+    out
+}
+
+/// Reduction; parallel above [`PAR_THRESHOLD`].
+pub fn reduce_by<T, F>(a: &[T], identity: T, f: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    if a.len() < PAR_THRESHOLD {
+        return seq_reduce_by(a, identity, f);
+    }
+    let bs = block_size(a.len());
+    let partials: Vec<T> = a
+        .par_chunks(bs)
+        .map(|c| seq_reduce_by(c, identity, &f))
+        .collect();
+    seq_reduce_by(&partials, identity, &f)
+}
+
+/// Parallel elementwise map into a fresh vector (the paper's per-processor
+/// arithmetic step, §2.1). Sequential below the threshold.
+pub fn map_by<T, U, F>(a: &[T], f: F) -> Vec<U>
+where
+    T: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    F: Fn(T) -> U + Sync,
+{
+    if a.len() < PAR_THRESHOLD {
+        a.iter().map(|&x| f(x)).collect()
+    } else {
+        a.par_iter().map(|&x| f(x)).collect()
+    }
+}
+
+/// Parallel elementwise zip-map of two equal-length vectors.
+///
+/// # Panics
+/// If the lengths differ.
+pub fn zip_by<A, B, U, F>(a: &[A], b: &[B], f: F) -> Vec<U>
+where
+    A: Copy + Send + Sync,
+    B: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    F: Fn(A, B) -> U + Sync,
+{
+    assert_eq!(a.len(), b.len(), "zip_by length mismatch");
+    if a.len() < PAR_THRESHOLD {
+        a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+    } else {
+        a.par_iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seq_exclusive_matches_paper_example() {
+        let a = [2u64, 1, 2, 3, 5, 8, 13, 21];
+        assert_eq!(
+            seq_exclusive_scan_by(&a, 0, |x, y| x + y),
+            vec![0, 2, 3, 5, 8, 13, 21, 34]
+        );
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let e: [u32; 0] = [];
+        assert!(seq_exclusive_scan_by(&e, 0, |a, b| a + b).is_empty());
+        assert!(exclusive_scan_by(&e, 0, |a, b| a + b).is_empty());
+        assert_eq!(seq_exclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![0]);
+        assert_eq!(seq_inclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![7]);
+    }
+
+    #[test]
+    fn par_matches_seq_exclusive() {
+        let n = PAR_THRESHOLD * 3 + 17;
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        let seq = seq_exclusive_scan_by(&a, 0, |x, y| x.wrapping_add(y));
+        let par = exclusive_scan_by(&a, 0, |x, y| x.wrapping_add(y));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_matches_seq_inclusive_max() {
+        let n = PAR_THRESHOLD * 2 + 3;
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 104729).collect();
+        let seq = seq_inclusive_scan_by(&a, 0, |x, y| x.max(y));
+        let par = inclusive_scan_by(&a, 0, |x, y| x.max(y));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn reduce_matches() {
+        let n = PAR_THRESHOLD * 2 + 5;
+        let a: Vec<u64> = (0..n as u64).collect();
+        assert_eq!(
+            reduce_by(&a, 0, |x, y| x + y),
+            (n as u64 - 1) * (n as u64) / 2
+        );
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a: Vec<u32> = (0..100).collect();
+        let b: Vec<u32> = (0..100).map(|i| i * 2).collect();
+        assert_eq!(map_by(&a, |x| x + 1)[99], 100);
+        assert_eq!(zip_by(&a, &b, |x, y| x + y)[10], 30);
+        let big: Vec<u32> = (0..PAR_THRESHOLD as u32 * 2).collect();
+        let m = map_by(&big, |x| x ^ 1);
+        assert_eq!(m[5], 4);
+        assert_eq!(m.len(), big.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn zip_length_mismatch_panics() {
+        zip_by(&[1u32, 2], &[1u32], |a, b| a + b);
+    }
+}

@@ -1,0 +1,171 @@
+//! The scan primitives: exclusive/inclusive, forward/backward.
+//!
+//! The paper's scan (§1) is the *exclusive forward* scan:
+//! `scan([a0..a(n-1)]) = [i, a0, a0⊕a1, ..., a0⊕...⊕a(n-2)]`.
+//! Backward scans (§2.1) run from the last element to the first and are
+//! "implemented by simply reading the vector into the processors in
+//! reverse order" (§3.4).
+//!
+//! All functions here dispatch to the blocked parallel engine in
+//! [`crate::parallel`] for large inputs.
+
+use crate::element::ScanElem;
+use crate::op::ScanOp;
+use crate::parallel;
+
+/// Exclusive forward scan (the paper's scan).
+///
+/// ```
+/// use scan_core::{scan, op::{Sum, Max}};
+/// let a = [2u32, 1, 2, 3, 5, 8, 13, 21];
+/// assert_eq!(scan::<Sum, _>(&a), vec![0, 2, 3, 5, 8, 13, 21, 34]);
+/// assert_eq!(scan::<Max, _>(&[3u32, 1, 4, 1, 5]), vec![0, 3, 3, 4, 4]);
+/// ```
+pub fn scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
+    parallel::exclusive_scan_by(a, O::identity(), O::combine)
+}
+
+/// Exclusive forward scan that also returns the total reduction
+/// (`a0 ⊕ ... ⊕ a(n-1)`), which an exclusive scan otherwise drops.
+///
+/// Equivalent to the pair (`scan`, `reduce`) in one pass.
+pub fn scan_with_total<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> (Vec<T>, T) {
+    let out = scan::<O, T>(a);
+    let total = match (out.last(), a.last()) {
+        (Some(&s), Some(&x)) => O::combine(s, x),
+        _ => O::identity(),
+    };
+    (out, total)
+}
+
+/// Inclusive forward scan: element `i` receives `a0 ⊕ ... ⊕ ai`.
+pub fn inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
+    parallel::inclusive_scan_by(a, O::identity(), O::combine)
+}
+
+/// Exclusive backward scan: element `i` receives
+/// `a(i+1) ⊕ ... ⊕ a(n-1)` (identity at the last position).
+///
+/// ```
+/// use scan_core::{scan_backward, op::Sum};
+/// assert_eq!(scan_backward::<Sum, _>(&[1u32, 2, 3, 4]), vec![9, 7, 4, 0]);
+/// ```
+pub fn scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
+    let rev: Vec<T> = a.iter().rev().copied().collect();
+    let mut out = scan::<O, T>(&rev);
+    out.reverse();
+    out
+}
+
+/// Inclusive backward scan: element `i` receives `ai ⊕ ... ⊕ a(n-1)`.
+pub fn inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
+    let rev: Vec<T> = a.iter().rev().copied().collect();
+    let mut out = inclusive_scan::<O, T>(&rev);
+    out.reverse();
+    out
+}
+
+/// Reduction over the whole vector with operator `O`.
+pub fn reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> T {
+    parallel::reduce_by(a, O::identity(), O::combine)
+}
+
+/// In-place exclusive forward scan (no allocation); sequential.
+/// Useful inside per-processor loops of blocked algorithms.
+pub fn scan_inplace<O: ScanOp<T>, T: ScanElem>(a: &mut [T]) {
+    let mut acc = O::identity();
+    for x in a.iter_mut() {
+        let next = O::combine(acc, *x);
+        *x = acc;
+        acc = next;
+    }
+}
+
+/// In-place inclusive forward scan (no allocation); sequential.
+pub fn inclusive_scan_inplace<O: ScanOp<T>, T: ScanElem>(a: &mut [T]) {
+    let mut acc = O::identity();
+    for x in a.iter_mut() {
+        acc = O::combine(acc, *x);
+        *x = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{And, Max, Min, Or, Sum};
+
+    #[test]
+    fn paper_plus_scan_example() {
+        // §2.1: A = [2 1 2 3 5 8 13 21]
+        let a = [2u32, 1, 2, 3, 5, 8, 13, 21];
+        assert_eq!(scan::<Sum, _>(&a), vec![0, 2, 3, 5, 8, 13, 21, 34]);
+    }
+
+    #[test]
+    fn with_total() {
+        let a = [1u32, 2, 3];
+        let (s, t) = scan_with_total::<Sum, _>(&a);
+        assert_eq!(s, vec![0, 1, 3]);
+        assert_eq!(t, 6);
+        let (s, t) = scan_with_total::<Sum, u32>(&[]);
+        assert!(s.is_empty());
+        assert_eq!(t, 0);
+    }
+
+    #[test]
+    fn inclusive_forward() {
+        let a = [1u32, 2, 3, 4];
+        assert_eq!(inclusive_scan::<Sum, _>(&a), vec![1, 3, 6, 10]);
+        assert_eq!(inclusive_scan::<Max, _>(&[2u32, 9, 4, 11]), vec![2, 9, 9, 11]);
+    }
+
+    #[test]
+    fn backward_scans() {
+        let a = [1u32, 2, 3, 4];
+        assert_eq!(scan_backward::<Sum, _>(&a), vec![9, 7, 4, 0]);
+        assert_eq!(inclusive_scan_backward::<Sum, _>(&a), vec![10, 9, 7, 4]);
+        assert_eq!(scan_backward::<Max, _>(&[5u32, 1, 7, 2]), vec![7, 7, 2, 0]);
+    }
+
+    #[test]
+    fn min_or_and() {
+        let a = [5u32, 3, 8, 1];
+        assert_eq!(scan::<Min, _>(&a), vec![u32::MAX, 5, 3, 3]);
+        let b = [false, true, false, false];
+        assert_eq!(scan::<Or, _>(&b), vec![false, false, true, true]);
+        let c = [true, true, false, true];
+        assert_eq!(scan::<And, _>(&c), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn reduce_ops() {
+        let a = [3u32, 1, 4, 1, 5];
+        assert_eq!(reduce::<Sum, _>(&a), 14);
+        assert_eq!(reduce::<Max, _>(&a), 5);
+        assert_eq!(reduce::<Min, _>(&a), 1);
+    }
+
+    #[test]
+    fn inplace_variants_match_allocating() {
+        let a = [3u32, 1, 4, 1, 5, 9];
+        let mut b = a;
+        scan_inplace::<Sum, _>(&mut b);
+        assert_eq!(b.to_vec(), scan::<Sum, _>(&a));
+        let mut c = a;
+        inclusive_scan_inplace::<Max, _>(&mut c);
+        assert_eq!(c.to_vec(), inclusive_scan::<Max, _>(&a));
+        let mut empty: [u32; 0] = [];
+        scan_inplace::<Sum, _>(&mut empty);
+    }
+
+    #[test]
+    fn signed_and_float() {
+        let a = [-3i64, 5, -7, 2];
+        assert_eq!(scan::<Sum, _>(&a), vec![0, -3, 2, -5]);
+        assert_eq!(scan::<Max, _>(&a), vec![i64::MIN, -3, 5, 5]);
+        let f = [1.5f64, -2.0, 0.25];
+        assert_eq!(inclusive_scan::<Sum, _>(&f), vec![1.5, -0.5, -0.25]);
+        assert_eq!(scan::<Max, _>(&f)[0], f64::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,41 @@
+//! # scan-pram
+//!
+//! The machine-model substrate: parallel random-access machine (P-RAM)
+//! variants with **step-complexity accounting**, so the paper's Table 1
+//! and Table 5 claims can be *measured* rather than assumed.
+//!
+//! The paper (§1) replaces "unit time" with the term **program step**:
+//! the number of program steps taken by an algorithm is its *step
+//! complexity*. A program step is one vector operation over the
+//! processors — an elementwise arithmetic operation, a permute (one
+//! parallel memory reference each way), or a scan. What a scan *costs*
+//! depends on the model:
+//!
+//! | model | scan charge (p processors) |
+//! |-------|----------------------------|
+//! | [`Model::Scan`]  | 1 step — the paper's thesis: a scan is as cheap as a reference |
+//! | [`Model::Erew`] / [`Model::Crew`] | `2⌈lg p⌉` steps — tree simulation (§3.1) |
+//! | [`Model::Crcw`]  | `2⌈lg p⌉` steps — concurrent writes don't speed up a scan, but [`Ctx::combining_write`] is available at unit cost |
+//!
+//! With more elements than processors (`n > p`, §2.5 / Figure 10) every
+//! vector operation additionally pays `⌈n/p⌉` for the per-processor
+//! loop, and a scan pays the blocked three-phase schedule.
+//!
+//! Algorithms in the `scan-algorithms` crate are written against
+//! [`Ctx`], which executes operations with the `scan-core` kernels while
+//! charging steps according to the model — the same code yields both
+//! results and measured step complexities.
+
+#![warn(missing_docs)]
+
+pub mod ctx;
+pub mod longvec;
+pub mod model;
+pub mod stats;
+pub mod vm;
+
+pub use ctx::Ctx;
+pub use longvec::BlockedVec;
+pub use model::Model;
+pub use stats::{Stats, StepKind};
+pub use vm::{Instr, Vm, VmError};

@@ -1,0 +1,204 @@
+//! The machine models and their per-operation step charges.
+
+/// Ceiling of log2, with `ceil_lg(0) == ceil_lg(1) == 0`.
+#[inline]
+pub fn ceil_lg(n: usize) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        (usize::BITS - (n - 1).leading_zeros()) as u64
+    }
+}
+
+/// Ceiling division.
+#[inline]
+pub fn ceil_div(n: usize, d: usize) -> u64 {
+    if d == 0 {
+        0
+    } else {
+        n.div_ceil(d) as u64
+    }
+}
+
+/// The P-RAM variants the paper compares (§1, Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Model {
+    /// Exclusive-read exclusive-write P-RAM.
+    Erew,
+    /// Concurrent-read exclusive-write P-RAM.
+    Crew,
+    /// Concurrent-read concurrent-write P-RAM, extended (as the paper's
+    /// MST discussion requires) so that colliding writes resolve to the
+    /// minimum value / lowest-numbered processor.
+    Crcw,
+    /// The **scan model**: EREW plus unit-time `+-scan` and `max-scan`.
+    Scan,
+}
+
+impl Model {
+    /// All four models, for sweeps.
+    pub const ALL: [Model; 4] = [Model::Erew, Model::Crew, Model::Crcw, Model::Scan];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Model::Erew => "EREW",
+            Model::Crew => "CREW",
+            Model::Crcw => "CRCW",
+            Model::Scan => "Scan",
+        }
+    }
+
+    /// Steps charged for one elementwise vector operation (or one
+    /// parallel memory reference) over `n` elements with `p` processors:
+    /// `⌈n/p⌉` (Figure 10's per-processor loop), minimum 1.
+    pub fn elementwise_cost(self, n: usize, p: usize) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        ceil_div(n, p).max(1)
+    }
+
+    /// Steps charged for a permute: one read plus one write per element
+    /// position, i.e. the same `⌈n/p⌉` loop (the paper charges a
+    /// reference as a step; we count the permute as one step per
+    /// simulated element round).
+    pub fn permute_cost(self, n: usize, p: usize) -> u64 {
+        self.elementwise_cost(n, p)
+    }
+
+    /// Steps charged for one primitive scan over `n` elements with `p`
+    /// processors.
+    ///
+    /// In the scan model this is the blocked schedule of Figure 10: sum
+    /// within processors (`⌈n/p⌉`), one unit-time scan across
+    /// processors, then the offset pass (`⌈n/p⌉`) — `O(n/p + 1)`. In
+    /// the pure P-RAM models the cross-processor scan instead costs a
+    /// `2⌈lg p⌉`-step tree simulation (§3.1).
+    pub fn scan_cost(self, n: usize, p: usize) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let p_eff = p.min(n);
+        let loop_cost = 2 * ceil_div(n, p_eff).max(1);
+        if p_eff <= 1 {
+            // A single processor scans its block in the loop itself;
+            // there is no cross-processor phase to charge.
+            return loop_cost;
+        }
+        match self {
+            Model::Scan => loop_cost + 1,
+            Model::Erew | Model::Crew | Model::Crcw => loop_cost + 2 * ceil_lg(p_eff),
+        }
+    }
+
+    /// Steps charged for a segmented scan: "implemented with at most two
+    /// calls to the two unsegmented primitive scans" (§2.3 / §3.4).
+    pub fn seg_scan_cost(self, n: usize, p: usize) -> u64 {
+        2 * self.scan_cost(n, p)
+    }
+
+    /// Steps charged for merging adjacent sorted runs across the whole
+    /// vector.
+    ///
+    /// With the hypothetical §4 merge primitive ("a single pass of an
+    /// Omega network") the charge is scan-like: the per-processor loop
+    /// plus one unit network pass. Without it, the merge is simulated
+    /// by a bitonic merging network: `⌈lg p⌉` compare-exchange stages,
+    /// each a full elementwise + exchange round.
+    pub fn merge_cost(self, n: usize, p: usize, has_primitive: bool) -> u64 {
+        if n == 0 {
+            return 0;
+        }
+        let p_eff = p.min(n);
+        let loop_cost = 2 * ceil_div(n, p_eff).max(1);
+        if p_eff <= 1 {
+            return loop_cost;
+        }
+        if has_primitive {
+            loop_cost + 1
+        } else {
+            loop_cost * ceil_lg(p_eff).max(1) + ceil_lg(p_eff)
+        }
+    }
+
+    /// Whether unit-cost combining concurrent writes are available
+    /// (the extended CRCW model of §2.3.3).
+    pub fn has_combining_write(self) -> bool {
+        matches!(self, Model::Crcw)
+    }
+
+    /// Whether concurrent reads are legal.
+    pub fn allows_concurrent_read(self) -> bool {
+        matches!(self, Model::Crew | Model::Crcw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_lg_values() {
+        assert_eq!(ceil_lg(0), 0);
+        assert_eq!(ceil_lg(1), 0);
+        assert_eq!(ceil_lg(2), 1);
+        assert_eq!(ceil_lg(3), 2);
+        assert_eq!(ceil_lg(4), 2);
+        assert_eq!(ceil_lg(5), 3);
+        assert_eq!(ceil_lg(1024), 10);
+        assert_eq!(ceil_lg(1025), 11);
+    }
+
+    #[test]
+    fn scan_model_scans_are_unit_when_p_equals_n() {
+        // p = n: loop cost is 2·1, plus the unit scan.
+        assert_eq!(Model::Scan.scan_cost(1024, 1024), 3);
+        // EREW pays the lg-factor tree.
+        assert_eq!(Model::Erew.scan_cost(1024, 1024), 2 + 20);
+    }
+
+    #[test]
+    fn scan_gap_grows_logarithmically() {
+        for lg in [4u32, 8, 12, 16, 20] {
+            let n = 1usize << lg;
+            let gap = Model::Erew.scan_cost(n, n) - Model::Scan.scan_cost(n, n);
+            assert_eq!(gap, 2 * lg as u64 - 1);
+        }
+    }
+
+    #[test]
+    fn long_vector_costs() {
+        // n = 4096, p = 64: elementwise = 64 steps.
+        assert_eq!(Model::Scan.elementwise_cost(4096, 64), 64);
+        // Scan: 2·64 + 1.
+        assert_eq!(Model::Scan.scan_cost(4096, 64), 129);
+        // EREW: 2·64 + 2·6.
+        assert_eq!(Model::Erew.scan_cost(4096, 64), 140);
+    }
+
+    #[test]
+    fn p_capped_at_n() {
+        // Extra processors beyond n are idle; cost as if p = n.
+        assert_eq!(
+            Model::Erew.scan_cost(16, 1 << 20),
+            Model::Erew.scan_cost(16, 16)
+        );
+    }
+
+    #[test]
+    fn zero_length_is_free() {
+        for m in Model::ALL {
+            assert_eq!(m.scan_cost(0, 8), 0);
+            assert_eq!(m.elementwise_cost(0, 8), 0);
+        }
+    }
+
+    #[test]
+    fn capabilities() {
+        assert!(Model::Crcw.has_combining_write());
+        assert!(!Model::Scan.has_combining_write());
+        assert!(Model::Crew.allows_concurrent_read());
+        assert!(!Model::Erew.allows_concurrent_read());
+    }
+}

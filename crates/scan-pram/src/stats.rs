@@ -1,0 +1,157 @@
+//! Step-complexity counters.
+
+use core::fmt;
+
+/// Category of a charged program step, for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// Elementwise arithmetic / logical vector operation.
+    Elementwise,
+    /// Permute or other parallel memory reference round.
+    Permute,
+    /// Primitive scan (or the tree simulation of one).
+    Scan,
+    /// Segmented scan (charged as two primitive scans).
+    SegScan,
+    /// Unit-cost combining concurrent write (extended CRCW only).
+    CombiningWrite,
+    /// Merge of adjacent sorted runs (the hypothetical §4 primitive, or
+    /// its bitonic-network simulation).
+    Merge,
+}
+
+impl StepKind {
+    /// All kinds, in report order.
+    pub const ALL: [StepKind; 6] = [
+        StepKind::Elementwise,
+        StepKind::Permute,
+        StepKind::Scan,
+        StepKind::SegScan,
+        StepKind::CombiningWrite,
+        StepKind::Merge,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            StepKind::Elementwise => 0,
+            StepKind::Permute => 1,
+            StepKind::Scan => 2,
+            StepKind::SegScan => 3,
+            StepKind::CombiningWrite => 4,
+            StepKind::Merge => 5,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StepKind::Elementwise => "elementwise",
+            StepKind::Permute => "permute",
+            StepKind::Scan => "scan",
+            StepKind::SegScan => "seg-scan",
+            StepKind::CombiningWrite => "combining-write",
+            StepKind::Merge => "merge",
+        }
+    }
+}
+
+/// Accumulated step counts for one run of an algorithm.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stats {
+    steps_by_kind: [u64; 6],
+    ops_by_kind: [u64; 6],
+}
+
+impl Stats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `steps` program steps of the given kind (one operation).
+    pub fn charge(&mut self, kind: StepKind, steps: u64) {
+        self.steps_by_kind[kind.index()] += steps;
+        self.ops_by_kind[kind.index()] += 1;
+    }
+
+    /// Total program steps charged.
+    pub fn steps(&self) -> u64 {
+        self.steps_by_kind.iter().sum()
+    }
+
+    /// Steps charged for one kind.
+    pub fn steps_of(&self, kind: StepKind) -> u64 {
+        self.steps_by_kind[kind.index()]
+    }
+
+    /// Number of operations (not steps) of one kind.
+    pub fn ops_of(&self, kind: StepKind) -> u64 {
+        self.ops_by_kind[kind.index()]
+    }
+
+    /// Total vector operations issued.
+    pub fn ops(&self) -> u64 {
+        self.ops_by_kind.iter().sum()
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} steps (", self.steps())?;
+        let mut first = true;
+        for kind in StepKind::ALL {
+            let s = self.steps_of(kind);
+            if s > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{} {}", s, kind.label())?;
+                first = false;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut s = Stats::new();
+        s.charge(StepKind::Scan, 3);
+        s.charge(StepKind::Scan, 3);
+        s.charge(StepKind::Elementwise, 1);
+        assert_eq!(s.steps(), 7);
+        assert_eq!(s.steps_of(StepKind::Scan), 6);
+        assert_eq!(s.ops_of(StepKind::Scan), 2);
+        assert_eq!(s.ops(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut s = Stats::new();
+        s.charge(StepKind::Permute, 5);
+        s.reset();
+        assert_eq!(s.steps(), 0);
+        assert_eq!(s.ops(), 0);
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let mut s = Stats::new();
+        s.charge(StepKind::Scan, 2);
+        s.charge(StepKind::Permute, 1);
+        let d = s.to_string();
+        assert!(d.contains("3 steps"));
+        assert!(d.contains("2 scan"));
+        assert!(d.contains("1 permute"));
+        assert!(!d.contains("seg-scan"));
+    }
+}

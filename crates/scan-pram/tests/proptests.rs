@@ -1,0 +1,108 @@
+//! Property tests for the machine models: results must be independent
+//! of the model and the processor count; only step charges may differ,
+//! and they must differ in the documented directions.
+
+use proptest::prelude::*;
+use scan_core::op::Sum;
+use scan_pram::{BlockedVec, Ctx, Model};
+
+proptest! {
+    #[test]
+    fn blocked_scan_matches_flat_for_any_processor_count(
+        data in proptest::collection::vec(0u64..1_000_000, 0..300),
+        p in 1usize..40,
+    ) {
+        let blocked = BlockedVec::new(data.clone(), p);
+        prop_assert_eq!(
+            blocked.scan::<Sum>().into_data(),
+            scan_core::scan::<Sum, _>(&data)
+        );
+    }
+
+    #[test]
+    fn load_balance_preserves_order(
+        data in proptest::collection::vec(any::<u32>(), 0..200),
+        p in 1usize..20,
+        seed in any::<u64>(),
+    ) {
+        let keep: Vec<bool> = (0..data.len())
+            .map(|i| (seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let v = BlockedVec::new(data.clone(), p);
+        let balanced = v.load_balance(&keep);
+        let expect: Vec<u32> = data
+            .iter()
+            .zip(&keep)
+            .filter(|(_, &k)| k)
+            .map(|(&x, _)| x)
+            .collect();
+        prop_assert_eq!(balanced.data(), expect.as_slice());
+        // Blocks stay balanced: max block ≤ ⌈m/p⌉.
+        let m = balanced.len();
+        prop_assert!(balanced.max_block_len() <= m.div_ceil(p).max(1));
+    }
+
+    #[test]
+    fn results_are_model_independent(
+        data in proptest::collection::vec(any::<u64>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let flags: Vec<bool> = (0..data.len())
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)) % 3 == 0)
+            .collect();
+        let mut results = Vec::new();
+        for model in Model::ALL {
+            let mut ctx = Ctx::new(model);
+            let s = ctx.scan::<Sum, _>(&data);
+            let sp = ctx.split(&data, &flags);
+            let pk = ctx.pack(&data, &flags);
+            results.push((s, sp, pk));
+        }
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn scan_model_never_costs_more_than_erew(
+        n in 1usize..5000,
+        p in 1usize..512,
+    ) {
+        prop_assert!(Model::Scan.scan_cost(n, p) <= Model::Erew.scan_cost(n, p));
+        prop_assert_eq!(
+            Model::Scan.elementwise_cost(n, p),
+            Model::Erew.elementwise_cost(n, p)
+        );
+    }
+
+    #[test]
+    fn costs_decrease_with_more_processors(n in 1usize..10_000) {
+        for model in Model::ALL {
+            let mut prev = u64::MAX;
+            for p in [1usize, 2, 4, 16, 64, 1024] {
+                let c = model.scan_cost(n, p);
+                prop_assert!(c <= prev, "{} cost grew at p={p}", model.name());
+                prev = c;
+            }
+        }
+    }
+
+    #[test]
+    fn fewer_processors_cost_more_steps_but_same_result(
+        data in proptest::collection::vec(0u64..1000, 64..400),
+    ) {
+        let mut few = Ctx::with_processors(Model::Scan, 4);
+        let mut many = Ctx::with_processors(Model::Scan, 1024);
+        let a = few.scan::<Sum, _>(&data);
+        let b = many.scan::<Sum, _>(&data);
+        prop_assert_eq!(a, b);
+        prop_assert!(few.steps() >= many.steps());
+    }
+
+    #[test]
+    fn merge_primitive_never_increases_cost(n in 1usize..5000, p in 1usize..256) {
+        for model in Model::ALL {
+            prop_assert!(
+                model.merge_cost(n, p, true) <= model.merge_cost(n, p, false)
+            );
+        }
+    }
+}

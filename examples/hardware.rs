@@ -1,0 +1,102 @@
+//! The Section 3 hardware, live: run scans bit-by-bit through the
+//! simulated tree circuit, check them against the software kernels,
+//! and print the cost accounting of Tables 2 and the §3.3 example
+//! system.
+//!
+//! Run with: `cargo run --release --example hardware`
+
+use blelloch_scan::circuit::{
+    baseline, CircuitBackend, ExampleSystem, HardwareCost, OpKind, TreeScanCircuit,
+};
+use blelloch_scan::core::op::{Min, Sum};
+use blelloch_scan::core::scan;
+use blelloch_scan::core::simulate::{self, PrimitiveScans};
+
+fn main() {
+    // A 64-leaf circuit executing a 16-bit +-scan, cycle by cycle.
+    let values: Vec<u64> = (0..64u64).map(|i| (i * 37) % 1000).collect();
+    let mut circuit = TreeScanCircuit::new(64);
+    let run = circuit.scan(OpKind::Plus, &values, 16);
+    assert_eq!(run.values, scan::<Sum, _>(&values));
+    println!("64-leaf tree circuit, 16-bit +-scan:");
+    println!(
+        "  {} bit cycles (paper bound m + 2 lg n = {})",
+        run.cycles,
+        circuit.cycle_bound(16)
+    );
+
+    // The same tree executes max-scan with the Op line high.
+    let run = circuit.scan(OpKind::Max, &values, 16);
+    println!("  max-scan result matches software: {}", {
+        use blelloch_scan::core::op::Max;
+        run.values == scan::<Max, _>(&values)
+    });
+
+    // §3.4: every other scan from the two primitives — here running on
+    // the simulated hardware itself.
+    let hw = CircuitBackend::new(64);
+    let a = [7u64, 3, 9, 1, 14, 2];
+    assert_eq!(simulate::min_scan_u64(&hw, &a), scan::<Min, _>(&a));
+    println!(
+        "\nmin-scan via invert∘max-scan∘invert on the circuit: ok ({} scans, {} cycles)",
+        hw.scans(),
+        hw.cycles()
+    );
+    let bools = [false, true, false, false, true];
+    assert_eq!(
+        simulate::or_scan(&hw, &bools),
+        scan::<blelloch_scan::core::op::Or, _>(&bools)
+    );
+    println!("or-scan as a 1-bit max-scan on the circuit: ok");
+    let _ = hw.plus_scan(&a);
+
+    // Hardware inventory (§3.2).
+    println!("\nHardware inventory:");
+    for lg in [6u32, 12, 16] {
+        let n = 1usize << lg;
+        let c = HardwareCost::for_leaves(n);
+        println!(
+            "  n = {:>6}: {:>6} units, {:>6} state machines, {:>7} FIFO bits, {:>7} wires",
+            n, c.units, c.state_machines, c.fifo_bits, c.wires
+        );
+    }
+
+    // The §3.3 example system.
+    let sys = ExampleSystem::paper_config();
+    println!("\n§3.3 example system (4096 processors, 64 per board):");
+    println!(
+        "  {} boards; each chip: {} state machines, {} shift registers",
+        sys.boards(),
+        sys.state_machines_per_chip(),
+        sys.shift_registers_per_chip()
+    );
+    println!(
+        "  32-bit scan at 100 ns clock: {:.1} µs  (paper: ~5 µs)",
+        sys.scan_time_us(32)
+    );
+    let fast = ExampleSystem {
+        clock_ns: 10.0,
+        ..sys
+    };
+    println!(
+        "  32-bit scan at  10 ns clock: {:.2} µs  (paper: ~0.5 µs)",
+        fast.scan_time_us(32)
+    );
+
+    // Table 2's comparison: scan vs shared-memory reference.
+    let n = 1 << 16;
+    println!("\nTable 2 shape at n = 64K, 32-bit fields:");
+    println!(
+        "  scan:             {:>5} bit cycles",
+        baseline::scan_bit_cycles(n, 32)
+    );
+    println!(
+        "  memory reference: {:>5} bit cycles (butterfly model)",
+        baseline::memory_reference_bit_cycles(n, 32)
+    );
+    println!(
+        "  tree components {} vs butterfly switches {}",
+        HardwareCost::for_leaves(n).size_components(),
+        baseline::butterfly_switches(n)
+    );
+}
