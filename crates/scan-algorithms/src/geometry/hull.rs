@@ -80,10 +80,10 @@ pub fn convex_hull_ctx(ctx: &mut Ctx, points: &[Pt]) -> Vec<Pt> {
     for (chain, (a, b)) in [(&upper, (l, r)), (&lower, (r, l))] {
         if !chain.is_empty() {
             flags.push(true);
-            flags.extend(std::iter::repeat(false).take(chain.len() - 1));
+            flags.extend(std::iter::repeat_n(false, chain.len() - 1));
             pts.extend_from_slice(chain);
-            chord_a.extend(std::iter::repeat(a).take(chain.len()));
-            chord_b.extend(std::iter::repeat(b).take(chain.len()));
+            chord_a.extend(std::iter::repeat_n(a, chain.len()));
+            chord_b.extend(std::iter::repeat_n(b, chain.len()));
         }
     }
     let mut segs = Segments::from_flags(flags);
@@ -170,9 +170,12 @@ fn order_ccw(mut vs: Vec<Pt>) -> Vec<Pt> {
     rest.sort_by(|&p, &q| {
         let ap = ((p.1 as f64) - c.1).atan2((p.0 as f64) - c.0);
         let aq = ((q.1 as f64) - c.1).atan2((q.0 as f64) - c.0);
-        ap.partial_cmp(&aq).expect("finite angles")
+        ap.total_cmp(&aq)
     });
-    let k = rest.iter().position(|&p| p == start).expect("start present");
+    let k = rest
+        .iter()
+        .position(|&p| p == start)
+        .unwrap_or_else(|| panic!("start present"));
     rest.rotate_left(k);
     rest
 }

@@ -114,7 +114,7 @@ impl KdTree {
                     });
                     nodes[node].left = Some(child);
                     next_flags.push(true);
-                    next_flags.extend(std::iter::repeat(false).take(lo.len() - 1));
+                    next_flags.extend(std::iter::repeat_n(false, lo.len() - 1));
                     next_pts.extend(lo);
                     next_seg_nodes.push(child);
                 }
@@ -129,7 +129,7 @@ impl KdTree {
                     });
                     nodes[node].right = Some(child);
                     next_flags.push(true);
-                    next_flags.extend(std::iter::repeat(false).take(hi.len() - 1));
+                    next_flags.extend(std::iter::repeat_n(false, hi.len() - 1));
                     next_pts.extend(hi);
                     next_seg_nodes.push(child);
                 }
@@ -175,7 +175,7 @@ impl KdTree {
         let n = &self.nodes[node];
         for &p in &n.points {
             let d = (p.0 - q.0).pow(2) + (p.1 - q.1).pow(2);
-            if best.map_or(true, |(_, bd)| d < bd) {
+            if best.is_none_or(|(_, bd)| d < bd) {
                 *best = Some((p, d));
             }
         }
@@ -190,7 +190,7 @@ impl KdTree {
         }
         let plane_d = (qc - n.coord).pow(2);
         if let Some(c) = far {
-            if best.map_or(true, |(_, bd)| plane_d < bd) {
+            if best.is_none_or(|(_, bd)| plane_d < bd) {
                 self.nearest_rec(c, q, best);
             }
         }

@@ -20,10 +20,13 @@ pub struct Pixel {
     pub line: usize,
 }
 
+/// A line segment `((x0, y0), (x1, y1))` on the integer grid.
+pub type Segment = ((i64, i64), (i64, i64));
+
 /// Draw every line segment on a step-counting machine. Each segment is
 /// `((x0, y0), (x1, y1))`; the result lists each line's pixels in
 /// order, lines concatenated.
-pub fn draw_lines_ctx(ctx: &mut Ctx, lines: &[((i64, i64), (i64, i64))]) -> Vec<Pixel> {
+pub fn draw_lines_ctx(ctx: &mut Ctx, lines: &[Segment]) -> Vec<Pixel> {
     let l = lines.len();
     if l == 0 {
         return Vec::new();
@@ -80,7 +83,7 @@ fn div_round(num: i64, den: i64) -> i64 {
 }
 
 /// Draw with the default scan-model machine.
-pub fn draw_lines(lines: &[((i64, i64), (i64, i64))]) -> Vec<Pixel> {
+pub fn draw_lines(lines: &[Segment]) -> Vec<Pixel> {
     let mut ctx = Ctx::new(Model::Scan);
     draw_lines_ctx(&mut ctx, lines)
 }

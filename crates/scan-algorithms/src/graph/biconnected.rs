@@ -52,8 +52,9 @@ impl RangeMinMax {
         let mut maxs = vec![base_max.to_vec()];
         let mut width = 1;
         while width * 2 <= n {
-            let prev_min = mins.last().expect("nonempty");
-            let prev_max = maxs.last().expect("nonempty");
+            let (Some(prev_min), Some(prev_max)) = (mins.last(), maxs.last()) else {
+                unreachable!("sparse tables seeded with the base row");
+            };
             let next_min: Vec<u64> = (0..n)
                 .map(|i| {
                     if i + width < n {
@@ -219,10 +220,10 @@ pub fn biconnected_components_ctx(
                 labels[child]
             } else if is_ancestor(u, v) {
                 labels[v]
-            } else if is_ancestor(v, u) {
-                labels[u]
             } else {
-                labels[u] // rule (i) connected u and v; either works
+                // v is an ancestor of u, or rule (i) connected the two
+                // unrelated endpoints — either way u's label works.
+                labels[u]
             }
         })
         .collect();

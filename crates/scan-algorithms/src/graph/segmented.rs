@@ -318,7 +318,7 @@ mod tests {
         g.validate();
         assert_eq!(g.n_slots(), 4);
         let mut ctx = Ctx::new(Model::Scan);
-        let deg = g.per_vertex_reduce::<Sum, _>(&mut ctx, &vec![1u64; 4]);
+        let deg = g.per_vertex_reduce::<Sum, _>(&mut ctx, &[1u64; 4]);
         assert_eq!(deg, vec![2, 2]);
     }
 

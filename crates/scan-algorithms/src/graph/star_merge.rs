@@ -371,9 +371,9 @@ mod tests {
             let edges: Vec<(usize, usize, u64)> =
                 (1..n).map(|v| (v - 1, v, v as u64)).collect();
             let g = SegGraph::from_edges(n, &edges);
-            let star: Vec<bool> = (0..g.n_slots()).map(|i| g.edge_ids[i] % 2 == 0 && {
+            let star: Vec<bool> = (0..g.n_slots()).map(|i| g.edge_ids[i].is_multiple_of(2) && {
                 let e = g.edge_ids[i];
-                e % 4 == 0
+                e.is_multiple_of(4)
             }).collect();
             // Stars: edge 4k merges vertex 4k+1 into 4k (even edges
             // chosen sparsely so stars stay disjoint).

@@ -147,11 +147,9 @@ fn rank_rec(
     let mut new_next = next.to_vec();
     let mut new_d = d.to_vec();
     for i in 0..n {
-        if spliced[i] {
-            if pred[i] != usize::MAX && !spliced[pred[i]] {
-                new_next[pred[i]] = next[i];
-                new_d[pred[i]] = d[pred[i]] + d[i];
-            }
+        if spliced[i] && pred[i] != usize::MAX && !spliced[pred[i]] {
+            new_next[pred[i]] = next[i];
+            new_d[pred[i]] = d[pred[i]] + d[i];
         }
     }
     ctx.charge_permute_op(n);

@@ -270,9 +270,9 @@ mod tests {
             let b: Vec<f64> = (0..n).map(|_| rng()).collect();
             if let Some(sol) = solve(&a, &b) {
                 // Residual ‖Ax − b‖∞ must be tiny.
-                for r in 0..n {
+                for (r, &br) in b.iter().enumerate() {
                     let ax: f64 = (0..n).map(|c| a.at(r, c) * sol[c]).sum();
-                    assert!((ax - b[r]).abs() < 1e-6, "n={n} r={r}");
+                    assert!((ax - br).abs() < 1e-6, "n={n} r={r}");
                 }
             }
         }

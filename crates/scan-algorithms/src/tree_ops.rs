@@ -78,11 +78,13 @@ pub fn euler_tour_ctx(
     // 2(n-1) directed edges; cut it before the start to rank it.
     let root_first = (0..s)
         .find(|&i| g.vertex_of_slot[i] == root)
-        .expect("root has an edge in a tree with n ≥ 2");
+        .unwrap_or_else(|| panic!("root has an edge in a tree with n ≥ 2"));
     ctx.charge_scan_op(s);
     // last slot of the cycle: the one whose successor is root_first.
     let mut next = succ.clone();
-    let last = (0..s).find(|&i| succ[i] == root_first).expect("cycle closes");
+    let last = (0..s)
+        .find(|&i| succ[i] == root_first)
+        .unwrap_or_else(|| panic!("cycle closes"));
     next[last] = last; // break the cycle into a list with tail `last`
     ctx.charge_elementwise_op(s);
     let rank_from_end = contraction_rank_ctx(ctx, &next, seed);
@@ -129,7 +131,7 @@ pub fn euler_tour_ctx(
     for i in 0..s {
         if downward[i] {
             let v = g.vertex_of_slot[g.cross_pointers[i]];
-            subtree_size[v] = ((rev_pos[i] - tour_position[i] + 1) / 2) as u64;
+            subtree_size[v] = (rev_pos[i] - tour_position[i]).div_ceil(2) as u64;
         }
     }
     ctx.charge_permute_op(s);

@@ -13,11 +13,13 @@
 use scan_bench::{connected_graph, print_row, print_rule, random_keys, random_points, Rng};
 use scan_pram::{Ctx, Model};
 
+type RunFn = Box<dyn Fn(&mut Ctx, usize, u64)>;
+
 struct Row {
     name: &'static str,
     paper_erew: &'static str,
     paper_scan: &'static str,
-    run: Box<dyn Fn(&mut Ctx, usize, u64)>,
+    run: RunFn,
 }
 
 fn rows() -> Vec<Row> {

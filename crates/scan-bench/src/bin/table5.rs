@@ -15,9 +15,11 @@ use scan_algorithms::tree_ops::euler_tour_ctx;
 use scan_bench::{print_row, print_rule, sorted_keys, Rng};
 use scan_pram::{Ctx, Model};
 
+type CaseFn = Box<dyn Fn(&mut Ctx, usize)>;
+
 struct Case {
     name: &'static str,
-    run: Box<dyn Fn(&mut Ctx, usize)>,
+    run: CaseFn,
 }
 
 fn main() {

@@ -17,6 +17,9 @@ impl Rng {
     }
 
     /// Next raw 64-bit value.
+    // Deliberately named like `Iterator::next`; the generator is
+    // infinite, so the iterator protocol's `Option` would only add noise.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
         let mut z = self.0;

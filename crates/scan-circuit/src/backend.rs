@@ -57,11 +57,11 @@ impl CircuitBackend {
         }
         let n = a.len().next_power_of_two();
         let mut slot = self.circuit.borrow_mut();
-        let needs_new = slot.as_ref().map_or(true, |c| c.n_leaves() < n);
+        let needs_new = slot.as_ref().is_none_or(|c| c.n_leaves() < n);
         if needs_new {
-            *slot = Some(TreeScanCircuit::new(n));
+            *slot = None;
         }
-        let circuit = slot.as_mut().expect("circuit initialized above");
+        let circuit = slot.get_or_insert_with(|| TreeScanCircuit::new(n));
         let run = circuit.scan(op, a, self.m_bits);
         *self.cycles.borrow_mut() += run.cycles;
         *self.scans.borrow_mut() += 1;

@@ -213,6 +213,113 @@ impl BitSlicedVec {
     pub fn max_bit_steps(&self) -> u64 {
         2 * self.m_bits() as u64
     }
+
+    /// Shift every value `k` lanes toward higher indices: lane `i` of
+    /// the result holds lane `i - k` of `self`, and the vacated low
+    /// lanes hold zero (the identity of both `+` and unsigned `max`).
+    /// This is the neighbor communication step of a Kogge–Stone scan,
+    /// done with word-wide shifts on every plane.
+    pub fn shift_lanes_up(&self, k: usize) -> Self {
+        let w = words_for(self.n);
+        let word_off = k / 64;
+        let s = (k % 64) as u32;
+        let planes = self
+            .planes
+            .iter()
+            .map(|p| {
+                let mut out = vec![0u64; w];
+                for (j, slot) in out.iter_mut().enumerate().skip(word_off) {
+                    let lo = p[j - word_off] << s;
+                    let hi = if s > 0 && j > word_off {
+                        p[j - word_off - 1] >> (64 - s)
+                    } else {
+                        0
+                    };
+                    *slot = lo | hi;
+                }
+                out
+            })
+            .collect();
+        BitSlicedVec { n: self.n, planes }
+    }
+}
+
+/// A `PrimitiveScans` backend that runs the two primitive scans in the
+/// Connection Machine's *processor-side* style: a Kogge–Stone scan of
+/// `⌈lg n⌉` rounds, each round one lanewise bit-sliced `add`/`max` over
+/// the whole vector. No tree hardware — this is what the paper's scan
+/// primitive replaces, and it is the natural independent fallback when
+/// the tree circuit itself is suspected faulty.
+///
+/// Counts the single-bit plane steps consumed (`m` per add round, `2m`
+/// per max round), the bit-serial cost the Table 4 models charge.
+#[derive(Debug)]
+pub struct BitslicedScans {
+    m_bits: u32,
+    bit_steps: core::cell::Cell<u64>,
+    scans: core::cell::Cell<u64>,
+}
+
+impl BitslicedScans {
+    /// A backend operating on `m`-bit fields (1..=64).
+    ///
+    /// # Panics
+    /// If `m_bits` is 0 or exceeds 64.
+    pub fn new(m_bits: u32) -> Self {
+        assert!((1..=64).contains(&m_bits), "field width must be 1..=64");
+        BitslicedScans {
+            m_bits,
+            bit_steps: core::cell::Cell::new(0),
+            scans: core::cell::Cell::new(0),
+        }
+    }
+
+    /// The field width in bits.
+    pub fn m_bits(&self) -> u32 {
+        self.m_bits
+    }
+
+    /// Total single-bit plane steps consumed by all scans so far.
+    pub fn bit_steps(&self) -> u64 {
+        self.bit_steps.get()
+    }
+
+    /// Number of primitive scans executed.
+    pub fn scans(&self) -> u64 {
+        self.scans.get()
+    }
+
+    fn run(&self, max: bool, a: &[u64]) -> Vec<u64> {
+        if a.is_empty() {
+            return Vec::new();
+        }
+        let mut x = BitSlicedVec::from_slice(a, self.m_bits);
+        let mut d = 1usize;
+        while d < a.len() {
+            let shifted = x.shift_lanes_up(d);
+            let step = if max {
+                x.max_bit_steps()
+            } else {
+                x.add_bit_steps()
+            };
+            x = if max { x.max(&shifted) } else { x.add(&shifted) };
+            self.bit_steps.set(self.bit_steps.get() + step);
+            d *= 2;
+        }
+        self.scans.set(self.scans.get() + 1);
+        // Inclusive → exclusive: shift once more, identity enters lane 0.
+        x.shift_lanes_up(1).to_vec()
+    }
+}
+
+impl scan_core::simulate::PrimitiveScans for BitslicedScans {
+    fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(false, a)
+    }
+
+    fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(true, a)
+    }
 }
 
 #[cfg(test)]
@@ -317,5 +424,59 @@ mod tests {
         let a = BitSlicedVec::from_slice(&[1], 8);
         let b = BitSlicedVec::from_slice(&[1, 2], 8);
         a.add(&b);
+    }
+
+    #[test]
+    fn lane_shift_matches_scalar() {
+        for n in [1usize, 5, 63, 64, 65, 130, 200] {
+            let v = sample(n, 12, 11);
+            let s = BitSlicedVec::from_slice(&v, 12);
+            for k in [0usize, 1, 2, 63, 64, 65, 100] {
+                let expect: Vec<u64> = (0..n)
+                    .map(|i| if i >= k { v[i - k] } else { 0 })
+                    .collect();
+                assert_eq!(s.shift_lanes_up(k).to_vec(), expect, "n={n} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitsliced_backend_matches_reference_scans() {
+        use scan_core::simulate::PrimitiveScans;
+        let b = BitslicedScans::new(16);
+        for n in [0usize, 1, 2, 7, 64, 65, 200] {
+            let v = sample(n, 16, n as u64 + 21);
+            let mut plus = Vec::with_capacity(n);
+            let mut max = Vec::with_capacity(n);
+            let (mut s, mut m) = (0u64, 0u64);
+            for &x in &v {
+                plus.push(s & 0xFFFF);
+                max.push(m);
+                s = s.wrapping_add(x);
+                m = m.max(x);
+            }
+            assert_eq!(b.plus_scan(&v), plus, "plus n={n}");
+            assert_eq!(b.max_scan(&v), max, "max n={n}");
+        }
+        assert!(b.scans() >= 12);
+        assert!(b.bit_steps() > 0);
+    }
+
+    #[test]
+    fn bitsliced_backend_counts_kogge_stone_rounds() {
+        use scan_core::simulate::PrimitiveScans;
+        let b = BitslicedScans::new(8);
+        b.plus_scan(&[1; 64]); // 6 rounds × 8 bit steps
+        assert_eq!(b.bit_steps(), 48);
+        b.max_scan(&[1; 64]); // 6 rounds × 16 bit steps
+        assert_eq!(b.bit_steps(), 48 + 96);
+        assert_eq!(b.scans(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn bitsliced_backend_rejects_oversized_values() {
+        use scan_core::simulate::PrimitiveScans;
+        BitslicedScans::new(8).plus_scan(&[256]);
     }
 }

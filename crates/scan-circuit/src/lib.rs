@@ -33,6 +33,7 @@
 //!   layer can run on the circuit.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
 pub mod bitsliced;
@@ -44,9 +45,9 @@ pub mod tree;
 pub mod unit;
 
 pub use backend::CircuitBackend;
-pub use bitsliced::BitSlicedVec;
+pub use bitsliced::{BitSlicedVec, BitslicedScans};
 pub use cost::{ExampleSystem, HardwareCost};
 pub use router::{bit_reversal_permutation, ButterflyRouter, RouteRun};
 pub use seg_tree::{SegCircuitRun, SegTreeScanCircuit};
-pub use tree::{tree_scan_trace, OpKind, TreeScanCircuit};
+pub use tree::{tree_scan_trace, CircuitFault, CircuitRun, FaultSite, OpKind, TreeScanCircuit};
 pub use unit::{ShiftRegister, SumStateMachine};

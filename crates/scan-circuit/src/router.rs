@@ -138,7 +138,7 @@ impl ButterflyRouter {
                         };
                         if !accepted[out_row] {
                             accepted[out_row] = true;
-                            let pkt = queues[s][row].pop_front().expect("front checked");
+                            queues[s][row].pop_front();
                             if s + 1 == l {
                                 received_from[out_row] = pkt.src;
                                 live -= 1;
@@ -266,7 +266,7 @@ mod tests {
         let run = r.route(&dests);
         assert_eq!(run.received_from[6], 3);
         assert_eq!(run.switch_cycles, 3);
-        let idle = r.route(&vec![usize::MAX; 8]);
+        let idle = r.route(&[usize::MAX; 8]);
         assert_eq!(idle.switch_cycles, 0);
     }
 

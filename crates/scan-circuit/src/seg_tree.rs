@@ -129,7 +129,7 @@ impl SegTreeScanCircuit {
         flags: &[bool],
         m_bits: u32,
     ) -> SegCircuitRun {
-        assert!(m_bits >= 1 && m_bits <= 64);
+        assert!((1..=64).contains(&m_bits));
         assert_eq!(values.len(), flags.len(), "values/flags length mismatch");
         assert!(values.len() <= self.n_leaves, "too many values");
         let mask = if m_bits == 64 {

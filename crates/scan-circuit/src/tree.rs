@@ -63,6 +63,57 @@ pub struct CircuitRun {
     pub cycles: u64,
 }
 
+/// A single bit of state or wiring inside one tree unit — the places a
+/// transient upset (bit flip) can land. Units are named by their heap
+/// index (`1` = root, unit `k` has children `2k`/`2k+1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// State bit `Q1` of the up-sweep sum state machine.
+    UpQ1(usize),
+    /// State bit `Q2` of the up-sweep sum state machine.
+    UpQ2(usize),
+    /// State bit `Q1` of the down-sweep sum state machine.
+    DownQ1(usize),
+    /// State bit `Q2` of the down-sweep sum state machine.
+    DownQ2(usize),
+    /// One cell of the unit's variable-length shift register; the
+    /// second field is the cell's age (0 = next bit shifted out).
+    FifoBit(usize, usize),
+    /// The registered single-bit wire toward the parent.
+    UpWire(usize),
+    /// The registered single-bit wire toward the left child.
+    LeftWire(usize),
+    /// The registered single-bit wire toward the right child.
+    RightWire(usize),
+}
+
+impl FaultSite {
+    /// The heap index of the unit this site lives in.
+    pub fn unit(self) -> usize {
+        match self {
+            FaultSite::UpQ1(k)
+            | FaultSite::UpQ2(k)
+            | FaultSite::DownQ1(k)
+            | FaultSite::DownQ2(k)
+            | FaultSite::FifoBit(k, _)
+            | FaultSite::UpWire(k)
+            | FaultSite::LeftWire(k)
+            | FaultSite::RightWire(k) => k,
+        }
+    }
+}
+
+/// One transient fault: flip `site` immediately before clock cycle
+/// `cycle` of a scan (cycle 0 is the cycle the first operand bit
+/// enters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitFault {
+    /// Clock cycle at which the upset occurs.
+    pub cycle: u64,
+    /// The bit that flips.
+    pub site: FaultSite,
+}
+
 /// A cycle-accurate simulation of the scan tree over `n` leaves
 /// (`n` a power of two; shorter inputs are padded with the identity).
 #[derive(Debug, Clone)]
@@ -182,7 +233,7 @@ impl TreeScanCircuit {
     /// If more values than leaves are supplied, a value does not fit in
     /// `m_bits`, or `m_bits` is 0 or exceeds 64.
     pub fn scan(&mut self, op: OpKind, values: &[u64], m_bits: u32) -> CircuitRun {
-        assert!(m_bits >= 1 && m_bits <= 64, "field width must be 1..=64");
+        assert!((1..=64).contains(&m_bits), "field width must be 1..=64");
         assert!(
             values.len() <= self.n_leaves,
             "{} values exceed {} leaves",
@@ -197,6 +248,125 @@ impl TreeScanCircuit {
         for &v in values {
             assert!(v & !mask == 0, "value {v} does not fit in {m_bits} bits");
         }
+        self.scan_with_faults(op, values, m_bits, &[]).0
+    }
+
+    /// Non-panicking construction: every [`TreeScanCircuit::new`] panic
+    /// becomes a typed error.
+    pub fn try_new(n_leaves: usize) -> scan_core::Result<Self> {
+        if n_leaves == 0 {
+            return Err(scan_core::Error::EmptyInput { op: "tree circuit" });
+        }
+        if !n_leaves.is_power_of_two() {
+            return Err(scan_core::Error::LengthMismatch {
+                expected: n_leaves.next_power_of_two(),
+                actual: n_leaves,
+            });
+        }
+        Ok(Self::new(n_leaves))
+    }
+
+    /// Non-panicking variant of [`TreeScanCircuit::scan`]: every
+    /// precondition failure becomes a typed error instead of a panic.
+    pub fn try_scan(
+        &mut self,
+        op: OpKind,
+        values: &[u64],
+        m_bits: u32,
+    ) -> scan_core::Result<CircuitRun> {
+        if !(1..=64).contains(&m_bits) {
+            return Err(scan_core::Error::WidthOverflow {
+                required: m_bits.max(1),
+                available: 64,
+            });
+        }
+        if values.len() > self.n_leaves {
+            return Err(scan_core::Error::LengthMismatch {
+                expected: self.n_leaves,
+                actual: values.len(),
+            });
+        }
+        let mask = if m_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << m_bits) - 1
+        };
+        for &v in values {
+            if v & !mask != 0 {
+                return Err(scan_core::Error::WidthOverflow {
+                    required: 64 - v.leading_zeros(),
+                    available: m_bits,
+                });
+            }
+        }
+        Ok(self.scan_with_faults(op, values, m_bits, &[]).0)
+    }
+
+    /// Flip one bit of circuit state right now. Returns `true` when the
+    /// flip landed on real state; `false` when the site does not exist
+    /// in this circuit (unit index out of range, fifo cell beyond the
+    /// register length, or any site on a single-leaf circuit) — such a
+    /// fault is vacuously masked.
+    pub fn apply_fault(&mut self, site: FaultSite) -> bool {
+        let k = site.unit();
+        if k == 0 || k >= self.units.len() {
+            return false;
+        }
+        let u = &mut self.units[k];
+        match site {
+            FaultSite::UpQ1(_) => u.up_sm.flip_q1(),
+            FaultSite::UpQ2(_) => u.up_sm.flip_q2(),
+            FaultSite::DownQ1(_) => u.down_sm.flip_q1(),
+            FaultSite::DownQ2(_) => u.down_sm.flip_q2(),
+            FaultSite::FifoBit(_, age) => {
+                if age >= u.fifo.len() {
+                    return false;
+                }
+                u.fifo.flip_bit(age);
+            }
+            FaultSite::UpWire(_) => u.up_out = !u.up_out,
+            FaultSite::LeftWire(_) => u.left_out = !u.left_out,
+            FaultSite::RightWire(_) => u.right_out = !u.right_out,
+        }
+        true
+    }
+
+    /// Every distinct bit of state and registered wiring in the circuit
+    /// — the complete fault universe for exhaustive or sampled
+    /// injection campaigns.
+    pub fn fault_sites(&self) -> Vec<FaultSite> {
+        let mut sites = Vec::new();
+        for k in 1..self.units.len() {
+            sites.push(FaultSite::UpQ1(k));
+            sites.push(FaultSite::UpQ2(k));
+            sites.push(FaultSite::DownQ1(k));
+            sites.push(FaultSite::DownQ2(k));
+            for age in 0..self.units[k].fifo.len() {
+                sites.push(FaultSite::FifoBit(k, age));
+            }
+            sites.push(FaultSite::UpWire(k));
+            sites.push(FaultSite::LeftWire(k));
+            sites.push(FaultSite::RightWire(k));
+        }
+        sites
+    }
+
+    /// Execute one scan while injecting transient faults: each fault
+    /// flips its site immediately before its clock cycle executes.
+    /// Returns the (possibly corrupted) run and the number of flips
+    /// that landed on real state (faults scheduled past the run's last
+    /// cycle or at nonexistent sites are dropped).
+    ///
+    /// Preconditions are the same as [`TreeScanCircuit::scan`] and are
+    /// **not** re-checked here; call through `scan`/`try_scan` first or
+    /// uphold them at the call site.
+    pub fn scan_with_faults(
+        &mut self,
+        op: OpKind,
+        values: &[u64],
+        m_bits: u32,
+        faults: &[CircuitFault],
+    ) -> (CircuitRun, usize) {
         self.clear();
         let n = self.n_leaves;
         let m = m_bits as u64;
@@ -205,7 +375,13 @@ impl TreeScanCircuit {
         let latency = if n == 1 { 0 } else { 2 * self.levels as u64 - 1 };
         let total_cycles = m + latency;
         let mut out = vec![0u64; n];
+        let mut applied = 0usize;
         for t in 0..total_cycles {
+            for fault in faults.iter().filter(|fl| fl.cycle == t) {
+                if self.apply_fault(fault.site) {
+                    applied += 1;
+                }
+            }
             // Operand bit index entering this cycle (identity bits after
             // the operand is exhausted).
             let leaf_in: Vec<bool> = (0..n)
@@ -237,10 +413,13 @@ impl TreeScanCircuit {
             }
         }
         out.truncate(values.len());
-        CircuitRun {
-            values: out,
-            cycles: total_cycles,
-        }
+        (
+            CircuitRun {
+                values: out,
+                cycles: total_cycles,
+            },
+            applied,
+        )
     }
 
     /// The paper's pipeline bound for this circuit: `m + 2 lg n` cycles.
@@ -458,5 +637,120 @@ mod tests {
         let t = tree_scan_trace(OpKind::Max, &[9], 8);
         assert_eq!(t.result, vec![0]);
         assert_eq!(t.steps, 0);
+    }
+
+    #[test]
+    fn try_new_reports_typed_errors() {
+        assert_eq!(
+            TreeScanCircuit::try_new(0).unwrap_err(),
+            scan_core::Error::EmptyInput { op: "tree circuit" }
+        );
+        assert_eq!(
+            TreeScanCircuit::try_new(6).unwrap_err(),
+            scan_core::Error::LengthMismatch {
+                expected: 8,
+                actual: 6
+            }
+        );
+        assert!(TreeScanCircuit::try_new(8).is_ok());
+    }
+
+    #[test]
+    fn try_scan_reports_typed_errors() {
+        let mut c = TreeScanCircuit::new(4);
+        assert_eq!(
+            c.try_scan(OpKind::Plus, &[1], 0).unwrap_err(),
+            scan_core::Error::WidthOverflow {
+                required: 1,
+                available: 64
+            }
+        );
+        assert_eq!(
+            c.try_scan(OpKind::Plus, &[1; 5], 8).unwrap_err(),
+            scan_core::Error::LengthMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
+        assert_eq!(
+            c.try_scan(OpKind::Plus, &[256, 0], 8).unwrap_err(),
+            scan_core::Error::WidthOverflow {
+                required: 9,
+                available: 8
+            }
+        );
+        let run = c.try_scan(OpKind::Plus, &[1, 2, 3, 4], 8).unwrap();
+        assert_eq!(run.values, vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn empty_fault_list_matches_plain_scan() {
+        let values = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        let mut c = TreeScanCircuit::new(8);
+        let plain = c.scan(OpKind::Plus, &values, 8);
+        let (faulted, applied) = c.scan_with_faults(OpKind::Plus, &values, 8, &[]);
+        assert_eq!(plain, faulted);
+        assert_eq!(applied, 0);
+    }
+
+    #[test]
+    fn fault_site_universe_covers_every_unit() {
+        let c = TreeScanCircuit::new(8);
+        let sites = c.fault_sites();
+        // 7 units × (4 state bits + 3 wires) + fifo cells (2·depth per
+        // unit: 0 + 2·2 + 4·4 = 20).
+        assert_eq!(sites.len(), 7 * 7 + 20);
+        assert!(sites.iter().all(|s| (1..8).contains(&s.unit())));
+        // Single-leaf circuit has no units, hence no fault sites.
+        assert!(TreeScanCircuit::new(1).fault_sites().is_empty());
+    }
+
+    #[test]
+    fn nonexistent_sites_are_rejected_as_masked() {
+        let mut c = TreeScanCircuit::new(4);
+        assert!(!c.apply_fault(FaultSite::UpQ1(0)));
+        assert!(!c.apply_fault(FaultSite::UpQ1(99)));
+        // Root fifo has length 0: any cell index misses.
+        assert!(!c.apply_fault(FaultSite::FifoBit(1, 0)));
+        assert!(c.apply_fault(FaultSite::UpQ1(1)));
+    }
+
+    #[test]
+    fn injected_faults_never_panic_and_are_cleared_between_runs() {
+        let values = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        let reference = ref_scan(OpKind::Plus, &values, 8);
+        let mut c = TreeScanCircuit::new(8);
+        let sites = c.fault_sites();
+        let mut corrupted = 0usize;
+        for (i, &site) in sites.iter().enumerate() {
+            let fault = CircuitFault {
+                cycle: (i % 13) as u64,
+                site,
+            };
+            let (run, applied) = c.scan_with_faults(OpKind::Plus, &values, 8, &[fault]);
+            assert_eq!(applied, 1, "site {site:?} should land");
+            assert_eq!(run.values.len(), values.len());
+            if run.values != reference {
+                corrupted += 1;
+            }
+            // The fault is transient: the next clean run must recover.
+            let clean = c.scan(OpKind::Plus, &values, 8);
+            assert_eq!(clean.values, reference, "after fault at {site:?}");
+        }
+        // Most single-bit upsets in live state corrupt the output.
+        assert!(corrupted > sites.len() / 4, "only {corrupted} corrupted");
+    }
+
+    #[test]
+    fn faults_past_the_last_cycle_are_dropped() {
+        let values = [1u64, 2, 3, 4];
+        let mut c = TreeScanCircuit::new(4);
+        let fault = CircuitFault {
+            cycle: 10_000,
+            site: FaultSite::UpQ1(1),
+        };
+        let (run, applied) = c.scan_with_faults(OpKind::Plus, &values, 8, &[fault]);
+        assert_eq!(applied, 0);
+        assert_eq!(run.values, ref_scan(OpKind::Plus, &values, 8));
     }
 }

@@ -92,6 +92,19 @@ impl SumStateMachine {
     pub fn state(&self) -> (bool, bool) {
         (self.q1, self.q2)
     }
+
+    /// Fault-injection hook: invert state bit `Q1` — a transient upset
+    /// of the flip-flop (carry bit for `Plus`, "A is greater" flag for
+    /// `Max`).
+    pub fn flip_q1(&mut self) {
+        self.q1 = !self.q1;
+    }
+
+    /// Fault-injection hook: invert state bit `Q2` (only consulted by
+    /// `Max`; flipping it during a `+-scan` is a masked fault).
+    pub fn flip_q2(&mut self) {
+        self.q2 = !self.q2;
+    }
 }
 
 /// The variable-length shift register of Figure 14: a first-in
@@ -140,6 +153,18 @@ impl ShiftRegister {
     pub fn clear(&mut self) {
         self.bits.iter_mut().for_each(|b| *b = false);
         self.head = 0;
+    }
+
+    /// Fault-injection hook: invert the stored bit that is `age` shifts
+    /// from the output end (`age = 0` is the next bit to be shifted
+    /// out). A no-op on the zero-length passthrough register or when
+    /// `age` exceeds the length — the fault lands on wiring that holds
+    /// no state.
+    pub fn flip_bit(&mut self, age: usize) {
+        if age < self.bits.len() {
+            let i = (self.head + age) % self.bits.len();
+            self.bits[i] = !self.bits[i];
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 //! ```
 
 use crate::element::ScanElem;
+use crate::error::{Error, Result};
 use crate::op::Sum;
 use crate::scan::scan_with_total;
 use crate::segmented::Segments;
@@ -67,12 +68,24 @@ pub fn allocate(counts: &[usize]) -> Allocation {
 /// `counts[i]` elements assigned to it (Figure 8's `distribute`).
 ///
 /// # Panics
-/// If `values.len() != counts.len()`.
+/// If `values.len() != counts.len()`. See [`try_distribute`] for the
+/// checked form.
 pub fn distribute<T: ScanElem>(values: &[T], counts: &[usize]) -> Vec<T> {
-    assert_eq!(values.len(), counts.len(), "distribute length mismatch");
+    try_distribute(values, counts).unwrap_or_else(|e| panic!("distribute length mismatch: {e}"))
+}
+
+/// Checked [`distribute`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_distribute<T: ScanElem>(values: &[T], counts: &[usize]) -> Result<Vec<T>> {
+    if values.len() != counts.len() {
+        return Err(Error::LengthMismatch {
+            expected: values.len(),
+            actual: counts.len(),
+        });
+    }
     let alloc = allocate(counts);
     if alloc.total == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     // Permute each value to the head of its segment, then copy across
     // the segment. Positions not at a head get a placeholder that the
@@ -83,7 +96,7 @@ pub fn distribute<T: ScanElem>(values: &[T], counts: &[usize]) -> Vec<T> {
             heads[alloc.starts[i]] = values[i];
         }
     }
-    seg_copy(&heads, &alloc.segments)
+    Ok(seg_copy(&heads, &alloc.segments))
 }
 
 /// For each allocated element, the index of the request that owns it
@@ -146,6 +159,21 @@ mod tests {
     fn owners_and_ranks() {
         assert_eq!(owner_of_each(&[2, 0, 3]), vec![0, 0, 2, 2, 2]);
         assert_eq!(rank_within_segment(&[2, 0, 3]), vec![0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn try_distribute_checks_lengths() {
+        assert_eq!(
+            try_distribute(&[1u32, 2], &[1, 2]),
+            Ok(vec![1, 2, 2])
+        );
+        assert_eq!(
+            try_distribute(&[1u32], &[1, 2]),
+            Err(crate::error::Error::LengthMismatch {
+                expected: 1,
+                actual: 2
+            })
+        );
     }
 
     #[test]

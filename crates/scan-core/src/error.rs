@@ -36,6 +36,20 @@ pub enum Error {
         /// Bits available.
         available: u32,
     },
+    /// An operation that needs at least one element received none
+    /// (e.g. `copy_first` of an empty vector).
+    EmptyInput {
+        /// The operation that was given an empty vector.
+        op: &'static str,
+    },
+    /// A flag vector's true-count disagreed with the length it must
+    /// describe (e.g. `flag_merge`'s true flags vs. `b.len()`).
+    CountMismatch {
+        /// The count the flags must produce.
+        expected: usize,
+        /// The count they actually produced.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -58,6 +72,12 @@ impl fmt::Display for Error {
                     f,
                     "composite scan needs {required} bits but only {available} are available"
                 )
+            }
+            Error::EmptyInput { op } => {
+                write!(f, "{op} of an empty vector")
+            }
+            Error::CountMismatch { expected, actual } => {
+                write!(f, "flag count mismatch: expected {expected}, got {actual}")
             }
         }
     }
@@ -88,5 +108,12 @@ mod tests {
             available: 64,
         };
         assert!(e.to_string().contains("70 bits"));
+        let e = Error::EmptyInput { op: "copy" };
+        assert_eq!(e.to_string(), "copy of an empty vector");
+        let e = Error::CountMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert_eq!(e.to_string(), "flag count mismatch: expected 3, got 2");
     }
 }

@@ -14,7 +14,7 @@
 //!   inclusive ([`mod@scan`], [`ops`]);
 //! - segmented versions of all scans, which restart at segment boundaries
 //!   ([`segmented`], paper §2.3);
-//! - parallel execution kernels (blocked two-pass over rayon,
+//! - parallel execution kernels (blocked two-pass over scoped threads,
 //!   [`parallel`]), falling back to sequential code below a threshold;
 //! - the derived "simple operations" of §2.2 — `enumerate`, `copy`,
 //!   `+-distribute`, `permute`, `split`, `pack` ([`ops`]) — and their
@@ -41,6 +41,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod allocate;
 pub mod element;
@@ -54,7 +55,7 @@ pub mod segops;
 pub mod simulate;
 pub mod vector;
 
-pub use allocate::{allocate, distribute, Allocation};
+pub use allocate::{allocate, distribute, try_distribute, Allocation};
 pub use element::ScanElem;
 pub use error::{Error, Result};
 pub use op::{And, Max, Min, Or, Prod, ScanOp, Sum};
@@ -65,17 +66,19 @@ pub use segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, Segments};
 
 /// Convenience prelude: `use scan_core::prelude::*;`
 pub mod prelude {
-    pub use crate::allocate::{allocate, distribute};
+    pub use crate::allocate::{allocate, distribute, try_distribute};
     pub use crate::op::{And, Max, Min, Or, Prod, ScanOp, Sum};
     pub use crate::ops::{
         copy_first, count, distribute_op, enumerate, flag_merge, gather, pack, permute, split,
-        split3, split_count,
+        split3, split_count, try_copy_first, try_flag_merge, try_gather, try_pack, try_permute,
+        try_select, try_split, try_split3, try_split_count,
     };
     pub use crate::scan::{
         inclusive_scan, inclusive_scan_backward, reduce, scan, scan_backward, scan_with_total,
     };
     pub use crate::segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, Segments};
     pub use crate::segops::{
-        seg_copy, seg_distribute, seg_enumerate, seg_reduce, seg_split, seg_split3,
+        seg_copy, seg_distribute, seg_enumerate, seg_reduce, seg_split, seg_split3, try_seg_copy,
+        try_seg_distribute, try_seg_reduce, try_seg_split, try_seg_split3,
     };
 }

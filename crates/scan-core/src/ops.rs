@@ -46,10 +46,18 @@ pub fn count(flags: &[bool]) -> usize {
 /// broadcast fill.
 ///
 /// # Panics
-/// If `a` is empty.
+/// If `a` is empty. See [`try_copy_first`] for the checked form.
 pub fn copy_first<T: ScanElem>(a: &[T]) -> Vec<T> {
-    assert!(!a.is_empty(), "copy of an empty vector");
-    vec![a[0]; a.len()]
+    try_copy_first(a).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Checked [`copy_first`]: `Err(Error::EmptyInput)` on an empty vector
+/// instead of panicking.
+pub fn try_copy_first<T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    match a.first() {
+        Some(&head) => Ok(vec![head; a.len()]),
+        None => Err(Error::EmptyInput { op: "copy" }),
+    }
 }
 
 /// `⊕-distribute` (Figure 1): every element receives the reduction of
@@ -109,7 +117,7 @@ pub fn try_permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
 /// # Panics
 /// On length mismatch, out-of-range index, or duplicate index.
 pub fn permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
-    try_permute(a, indices).expect("invalid permute")
+    try_permute(a, indices).unwrap_or_else(|e| panic!("invalid permute: {e}"))
 }
 
 /// Scatter without the permutation check: `out[indices[i]] = a[i]`.
@@ -154,9 +162,23 @@ pub fn permute_unchecked<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
 /// repeated ones, which the scan model expresses with scans instead.
 ///
 /// # Panics
-/// If an index is out of range.
+/// If an index is out of range. See [`try_gather`] for the checked form.
 pub fn gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
     indices.iter().map(|&ix| a[ix]).collect()
+}
+
+/// Checked [`gather`]: `Err(Error::IndexOutOfBounds)` on a bad index
+/// instead of panicking.
+pub fn try_gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
+    indices
+        .iter()
+        .map(|&ix| {
+            a.get(ix).copied().ok_or(Error::IndexOutOfBounds {
+                index: ix,
+                len: a.len(),
+            })
+        })
+        .collect()
 }
 
 /// The `split` operation (§2.2.1, Figure 3): pack elements whose flag is
@@ -172,9 +194,26 @@ pub fn gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
 /// ```
 ///
 /// # Panics
-/// If lengths differ.
+/// If lengths differ. See [`try_split`] for the checked form.
 pub fn split<T: ScanElem>(a: &[T], flags: &[bool]) -> Vec<T> {
     split_count(a, flags).0
+}
+
+/// Checked [`split`]: `Err(Error::LengthMismatch)` instead of panicking.
+pub fn try_split<T: ScanElem>(a: &[T], flags: &[bool]) -> Result<Vec<T>> {
+    Ok(try_split_count(a, flags)?.0)
+}
+
+/// Checked [`split_count`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> Result<(Vec<T>, usize)> {
+    if a.len() != flags.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len(),
+            actual: flags.len(),
+        });
+    }
+    Ok(split_count(a, flags))
 }
 
 /// [`split`], also returning the number of `false` elements (the index
@@ -222,9 +261,24 @@ pub enum Bucket {
     Hi,
 }
 
+/// Checked [`split3`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> Result<(Vec<T>, usize, usize)> {
+    if a.len() != buckets.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len(),
+            actual: buckets.len(),
+        });
+    }
+    Ok(split3(a, buckets))
+}
+
 /// Three-way split (used by quicksort, §2.3.1): `Lo` elements first,
 /// then `Mid`, then `Hi`, each group in original order. Returns the
 /// permuted vector and the sizes of the `Lo` and `Mid` groups.
+///
+/// # Panics
+/// If lengths differ. See [`try_split3`] for the checked form.
 pub fn split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> (Vec<T>, usize, usize) {
     assert_eq!(a.len(), buckets.len(), "split3 length mismatch");
     let index = split3_index(buckets);
@@ -257,6 +311,9 @@ pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
 ///
 /// Implemented with an `enumerate` and a permute into the shorter
 /// vector, as the paper's load balancing does.
+///
+/// # Panics
+/// If lengths differ. See [`try_pack`] for the checked form.
 pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
     assert_eq!(a.len(), keep.len(), "pack length mismatch");
     let (dest, total) = {
@@ -278,6 +335,17 @@ pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
     out
 }
 
+/// Checked [`pack`]: `Err(Error::LengthMismatch)` instead of panicking.
+pub fn try_pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Result<Vec<T>> {
+    if a.len() != keep.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len(),
+            actual: keep.len(),
+        });
+    }
+    Ok(pack(a, keep))
+}
+
 /// Indices (into the original vector) of the kept elements, in order.
 pub fn pack_indices(keep: &[bool]) -> Vec<usize> {
     let idx: Vec<usize> = (0..keep.len()).collect();
@@ -295,32 +363,68 @@ pub fn pack_indices(keep: &[bool]) -> Vec<usize> {
 ///
 /// # Panics
 /// If `flags.len() != a.len() + b.len()` or the flag counts do not
-/// match the vector lengths.
+/// match the vector lengths. See [`try_flag_merge`] for the checked
+/// form.
 pub fn flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Vec<T> {
-    assert_eq!(
-        flags.len(),
-        a.len() + b.len(),
-        "flag_merge length mismatch"
-    );
+    try_flag_merge(flags, a, b).unwrap_or_else(|e| match e {
+        Error::CountMismatch { .. } => panic!("flag_merge: true-count must equal b.len()"),
+        e => panic!("flag_merge length mismatch: {e}"),
+    })
+}
+
+/// Checked [`flag_merge`]: `Err(Error::LengthMismatch)` when
+/// `flags.len() != a.len() + b.len()` and `Err(Error::CountMismatch)`
+/// when the true-count of `flags` is not `b.len()`.
+pub fn try_flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<Vec<T>> {
+    if flags.len() != a.len() + b.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len() + b.len(),
+            actual: flags.len(),
+        });
+    }
     let n_true = count(flags);
-    assert_eq!(n_true, b.len(), "flag_merge: true-count must equal b.len()");
+    if n_true != b.len() {
+        return Err(Error::CountMismatch {
+            expected: b.len(),
+            actual: n_true,
+        });
+    }
     let a_pos = enumerate(&parallel::map_by(flags, |f| !f));
     let b_pos = enumerate(flags);
-    flags
+    Ok(flags
         .iter()
         .enumerate()
         .map(|(i, &f)| if f { b[b_pos[i]] } else { a[a_pos[i]] })
-        .collect()
+        .collect())
 }
 
 /// Elementwise select: `if flags[i] { t[i] } else { e[i] }` (the paper's
 /// `if ... then ... else` vector form, Figure 3).
+///
+/// # Panics
+/// If lengths differ. See [`try_select`] for the checked form.
 pub fn select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Vec<T> {
-    assert_eq!(flags.len(), t.len(), "select length mismatch");
-    assert_eq!(flags.len(), e.len(), "select length mismatch");
-    (0..flags.len())
+    try_select(flags, t, e).unwrap_or_else(|e| panic!("select length mismatch: {e}"))
+}
+
+/// Checked [`select`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Result<Vec<T>> {
+    if flags.len() != t.len() {
+        return Err(Error::LengthMismatch {
+            expected: flags.len(),
+            actual: t.len(),
+        });
+    }
+    if flags.len() != e.len() {
+        return Err(Error::LengthMismatch {
+            expected: flags.len(),
+            actual: e.len(),
+        });
+    }
+    Ok((0..flags.len())
         .map(|i| if flags[i] { t[i] } else { e[i] })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -460,5 +564,87 @@ mod tests {
         let f = [true, false, true, true];
         assert_eq!(count(&f), 3);
         assert_eq!(back_enumerate(&f), vec![2, 2, 1, 0]);
+    }
+
+    #[test]
+    fn try_variants_accept_valid_inputs() {
+        let a = [5u32, 1, 3];
+        assert_eq!(try_copy_first(&a), Ok(vec![5, 5, 5]));
+        assert_eq!(try_gather(&a, &[2, 0]), Ok(vec![3, 5]));
+        let f = [true, false, false];
+        assert_eq!(try_split(&a, &f), Ok(split(&a, &f)));
+        assert_eq!(try_pack(&a, &f), Ok(vec![5]));
+        assert_eq!(
+            try_select(&f, &a, &[9, 9, 9]),
+            Ok(vec![5, 9, 9])
+        );
+        use Bucket::*;
+        let b = [Hi, Lo, Mid];
+        assert_eq!(try_split3(&a, &b), Ok(split3(&a, &b)));
+        let flags = [false, true, false];
+        assert_eq!(
+            try_flag_merge(&flags, &[1u32, 3], &[2u32]),
+            Ok(vec![1, 2, 3])
+        );
+    }
+
+    #[test]
+    fn try_variants_reject_bad_inputs() {
+        assert_eq!(
+            try_copy_first::<u32>(&[]),
+            Err(Error::EmptyInput { op: "copy" })
+        );
+        assert_eq!(
+            try_gather(&[1u32], &[3]),
+            Err(Error::IndexOutOfBounds { index: 3, len: 1 })
+        );
+        assert_eq!(
+            try_split(&[1u32], &[true, false]),
+            Err(Error::LengthMismatch {
+                expected: 1,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            try_split3(&[1u32], &[]),
+            Err(Error::LengthMismatch {
+                expected: 1,
+                actual: 0
+            })
+        );
+        assert_eq!(
+            try_pack(&[1u32, 2], &[true]),
+            Err(Error::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+        assert_eq!(
+            try_select(&[true], &[1u32], &[]),
+            Err(Error::LengthMismatch {
+                expected: 1,
+                actual: 0
+            })
+        );
+        assert_eq!(
+            try_flag_merge(&[true, true], &[1u32], &[2u32]),
+            Err(Error::CountMismatch {
+                expected: 1,
+                actual: 2
+            })
+        );
+        assert_eq!(
+            try_flag_merge(&[true], &[1u32], &[2u32]),
+            Err(Error::LengthMismatch {
+                expected: 2,
+                actual: 1
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "copy of an empty vector")]
+    fn copy_first_empty_panics_with_typed_message() {
+        copy_first::<u32>(&[]);
     }
 }

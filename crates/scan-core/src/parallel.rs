@@ -1,4 +1,5 @@
-//! The execution engine: blocked two-pass parallel scans over rayon.
+//! The execution engine: blocked two-pass parallel scans over scoped
+//! OS threads.
 //!
 //! Every scan in this crate funnels through [`exclusive_scan_by`] /
 //! [`inclusive_scan_by`], which take the operator as a closure so that
@@ -17,8 +18,11 @@
 //! Total work is `2n` combines — twice sequential, like the paper's tree
 //! circuit — and span is `O(n/p + p)`. Below [`PAR_THRESHOLD`] elements
 //! the sequential loop wins and is used directly.
-
-use rayon::prelude::*;
+//!
+//! Workers are `std::thread::scope` threads spawned per call (one per
+//! block, a small constant multiple of the core count), which keeps the
+//! crate dependency-free; the spawn cost is amortized by the
+//! [`PAR_THRESHOLD`] floor on parallel input sizes.
 
 /// Inputs shorter than this are scanned sequentially; the fork/join and
 /// extra pass overhead does not pay for itself below roughly this size.
@@ -68,11 +72,37 @@ where
     acc
 }
 
+fn workers() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 fn block_size(n: usize) -> usize {
     // Aim for ~4 blocks per worker so the tail imbalance stays small,
-    // but keep blocks large enough to amortize the second pass.
-    let workers = rayon::current_num_threads().max(1);
-    (n / (4 * workers)).max(PAR_THRESHOLD / 4).max(1)
+    // but keep blocks large enough to amortize the second pass (and the
+    // per-block thread spawn).
+    (n / (4 * workers().max(1))).max(PAR_THRESHOLD / 4).max(1)
+}
+
+/// Join a scoped worker, propagating any payload panic unchanged.
+fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    h.join()
+        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+}
+
+/// Up sweep shared by the scans and the reduction: one partial
+/// reduction per block, computed on scoped threads.
+fn block_partials<T, F>(a: &[T], bs: usize, identity: T, f: &F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    std::thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks(bs)
+            .map(|c| s.spawn(move || seq_reduce_by(c, identity, f)))
+            .collect();
+        handles.into_iter().map(join).collect()
+    })
 }
 
 /// Exclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
@@ -88,25 +118,23 @@ where
         return seq_exclusive_scan_by(a, identity, f);
     }
     let bs = block_size(a.len());
-    // Up sweep: one partial reduction per block.
-    let partials: Vec<T> = a
-        .par_chunks(bs)
-        .map(|c| seq_reduce_by(c, identity, &f))
-        .collect();
+    let partials = block_partials(a, bs, identity, &f);
     // Scan of block sums (small, sequential).
     let offsets = seq_exclusive_scan_by(&partials, identity, &f);
     // Down sweep: local exclusive scan seeded with the block offset.
     let mut out: Vec<T> = vec![identity; a.len()];
-    out.par_chunks_mut(bs)
-        .zip(a.par_chunks(bs))
-        .zip(offsets.par_iter())
-        .for_each(|((out_c, in_c), &off)| {
-            let mut acc = off;
-            for (o, &x) in out_c.iter_mut().zip(in_c) {
-                *o = acc;
-                acc = f(acc, x);
-            }
-        });
+    std::thread::scope(|s| {
+        for ((out_c, in_c), &off) in out.chunks_mut(bs).zip(a.chunks(bs)).zip(&offsets) {
+            let f = &f;
+            s.spawn(move || {
+                let mut acc = off;
+                for (o, &x) in out_c.iter_mut().zip(in_c) {
+                    *o = acc;
+                    acc = f(acc, x);
+                }
+            });
+        }
+    });
     out
 }
 
@@ -120,22 +148,21 @@ where
         return seq_inclusive_scan_by(a, identity, f);
     }
     let bs = block_size(a.len());
-    let partials: Vec<T> = a
-        .par_chunks(bs)
-        .map(|c| seq_reduce_by(c, identity, &f))
-        .collect();
+    let partials = block_partials(a, bs, identity, &f);
     let offsets = seq_exclusive_scan_by(&partials, identity, &f);
     let mut out: Vec<T> = vec![identity; a.len()];
-    out.par_chunks_mut(bs)
-        .zip(a.par_chunks(bs))
-        .zip(offsets.par_iter())
-        .for_each(|((out_c, in_c), &off)| {
-            let mut acc = off;
-            for (o, &x) in out_c.iter_mut().zip(in_c) {
-                acc = f(acc, x);
-                *o = acc;
-            }
-        });
+    std::thread::scope(|s| {
+        for ((out_c, in_c), &off) in out.chunks_mut(bs).zip(a.chunks(bs)).zip(&offsets) {
+            let f = &f;
+            s.spawn(move || {
+                let mut acc = off;
+                for (o, &x) in out_c.iter_mut().zip(in_c) {
+                    acc = f(acc, x);
+                    *o = acc;
+                }
+            });
+        }
+    });
     out
 }
 
@@ -149,10 +176,7 @@ where
         return seq_reduce_by(a, identity, f);
     }
     let bs = block_size(a.len());
-    let partials: Vec<T> = a
-        .par_chunks(bs)
-        .map(|c| seq_reduce_by(c, identity, &f))
-        .collect();
+    let partials = block_partials(a, bs, identity, &f);
     seq_reduce_by(&partials, identity, &f)
 }
 
@@ -165,10 +189,24 @@ where
     F: Fn(T) -> U + Sync,
 {
     if a.len() < PAR_THRESHOLD {
-        a.iter().map(|&x| f(x)).collect()
-    } else {
-        a.par_iter().map(|&x| f(x)).collect()
+        return a.iter().map(|&x| f(x)).collect();
     }
+    let bs = block_size(a.len());
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks(bs)
+            .map(|c| {
+                let f = &f;
+                s.spawn(move || c.iter().map(|&x| f(x)).collect::<Vec<U>>())
+            })
+            .collect();
+        handles.into_iter().map(join).collect()
+    });
+    let mut out = Vec::with_capacity(a.len());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
 }
 
 /// Parallel elementwise zip-map of two equal-length vectors.
@@ -184,10 +222,30 @@ where
 {
     assert_eq!(a.len(), b.len(), "zip_by length mismatch");
     if a.len() < PAR_THRESHOLD {
-        a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
-    } else {
-        a.par_iter().zip(b).map(|(&x, &y)| f(x, y)).collect()
+        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
     }
+    let bs = block_size(a.len());
+    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
+        let handles: Vec<_> = a
+            .chunks(bs)
+            .zip(b.chunks(bs))
+            .map(|(ca, cb)| {
+                let f = &f;
+                s.spawn(move || {
+                    ca.iter()
+                        .zip(cb)
+                        .map(|(&x, &y)| f(x, y))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(join).collect()
+    });
+    let mut out = Vec::with_capacity(a.len());
+    for p in parts {
+        out.extend_from_slice(&p);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -250,6 +308,9 @@ mod tests {
         let m = map_by(&big, |x| x ^ 1);
         assert_eq!(m[5], 4);
         assert_eq!(m.len(), big.len());
+        let zipped = zip_by(&big, &big, |x, y| x + y);
+        assert_eq!(zipped[9], 18);
+        assert_eq!(zipped.len(), big.len());
     }
 
     #[test]

@@ -3,10 +3,22 @@
 //! and three-way `split` — each a constant number of scan-model steps.
 
 use crate::element::ScanElem;
+use crate::error::{Error, Result};
 use crate::op::{ScanOp, Sum};
 use crate::ops::{permute_unchecked, Bucket};
 use crate::parallel;
 use crate::segmented::{seg_inclusive_scan, seg_scan, Segments};
+
+/// `Err(Error::LengthMismatch)` unless `len` matches the segmentation.
+fn check_seg_len(len: usize, segs: &Segments) -> Result<()> {
+    if len != segs.len() {
+        return Err(Error::LengthMismatch {
+            expected: segs.len(),
+            actual: len,
+        });
+    }
+    Ok(())
+}
 
 /// Segmented `enumerate`: the `i`-th true element *within its segment*
 /// receives the count of true elements before it in the same segment.
@@ -24,11 +36,25 @@ pub fn seg_copy<T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     crate::ops::gather(a, &heads)
 }
 
+/// Checked [`seg_copy`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_copy<T: ScanElem>(a: &[T], segs: &Segments) -> Result<Vec<T>> {
+    check_seg_len(a.len(), segs)?;
+    Ok(seg_copy(a, segs))
+}
+
 /// Per-segment reduction, one value per segment, in segment order.
 pub fn seg_reduce<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     assert_eq!(a.len(), segs.len(), "seg_reduce length mismatch");
     let inc = seg_inclusive_scan::<O, T>(a, segs);
     segs.ranges().iter().map(|&(_, e)| inc[e - 1]).collect()
+}
+
+/// Checked [`seg_reduce`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_reduce<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Result<Vec<T>> {
+    check_seg_len(a.len(), segs)?;
+    Ok(seg_reduce::<O, T>(a, segs))
 }
 
 /// Segmented `⊕-distribute`: every element receives the reduction of
@@ -39,9 +65,16 @@ pub fn seg_distribute<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Ve
     let mut out = Vec::with_capacity(a.len());
     for (s, e) in segs.ranges() {
         let total = inc[e - 1];
-        out.extend(std::iter::repeat(total).take(e - s));
+        out.extend(std::iter::repeat_n(total, e - s));
     }
     out
+}
+
+/// Checked [`seg_distribute`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_distribute<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Result<Vec<T>> {
+    check_seg_len(a.len(), segs)?;
+    Ok(seg_distribute::<O, T>(a, segs))
 }
 
 /// Offset of each element's segment head (the base address of the
@@ -56,6 +89,21 @@ pub fn seg_offsets(segs: &Segments) -> Vec<usize> {
 pub fn seg_split<T: ScanElem>(a: &[T], flags: &[bool], segs: &Segments) -> Vec<T> {
     let index = seg_split_index(flags, segs);
     permute_unchecked(a, &index)
+}
+
+/// Checked [`seg_split`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_split<T: ScanElem>(a: &[T], flags: &[bool], segs: &Segments) -> Result<Vec<T>> {
+    check_seg_len(a.len(), segs)?;
+    check_seg_len(flags.len(), segs)?;
+    Ok(seg_split(a, flags, segs))
+}
+
+/// Checked [`seg_split_index`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_split_index(flags: &[bool], segs: &Segments) -> Result<Vec<usize>> {
+    check_seg_len(flags.len(), segs)?;
+    Ok(seg_split_index(flags, segs))
 }
 
 /// Destination index of each element under [`seg_split`].
@@ -100,6 +148,27 @@ pub struct SegSplit3<T> {
 pub fn seg_split3<T: ScanElem>(a: &[T], buckets: &[Bucket], segs: &Segments) -> SegSplit3<T> {
     assert_eq!(a.len(), buckets.len(), "seg_split3 length mismatch");
     assert_eq!(a.len(), segs.len(), "seg_split3 length mismatch");
+    seg_split3_inner(a, buckets, segs)
+}
+
+/// Checked [`seg_split3`]: `Err(Error::LengthMismatch)` instead of
+/// panicking.
+pub fn try_seg_split3<T: ScanElem>(
+    a: &[T],
+    buckets: &[Bucket],
+    segs: &Segments,
+) -> Result<SegSplit3<T>> {
+    if a.len() != buckets.len() {
+        return Err(Error::LengthMismatch {
+            expected: a.len(),
+            actual: buckets.len(),
+        });
+    }
+    check_seg_len(a.len(), segs)?;
+    Ok(seg_split3_inner(a, buckets, segs))
+}
+
+fn seg_split3_inner<T: ScanElem>(a: &[T], buckets: &[Bucket], segs: &Segments) -> SegSplit3<T> {
     let is = |b: Bucket| -> Vec<usize> {
         buckets.iter().map(|&x| usize::from(x == b)).collect()
     };
@@ -243,5 +312,48 @@ mod tests {
     fn seg_offsets_are_bases() {
         let s = segs(&[true, false, true, false, false]);
         assert_eq!(seg_offsets(&s), vec![0, 0, 2, 2, 2]);
+    }
+
+    #[test]
+    fn try_variants_match_and_reject() {
+        use crate::error::Error;
+        let a = [1u32, 2, 3, 10, 20, 5];
+        let s = segs(&[true, false, false, true, false, true]);
+        assert_eq!(try_seg_copy(&a, &s), Ok(seg_copy(&a, &s)));
+        assert_eq!(
+            try_seg_reduce::<Sum, _>(&a, &s),
+            Ok(seg_reduce::<Sum, _>(&a, &s))
+        );
+        assert_eq!(
+            try_seg_distribute::<Max, _>(&a, &s),
+            Ok(seg_distribute::<Max, _>(&a, &s))
+        );
+        let f = [true, false, true, false, true, false];
+        assert_eq!(try_seg_split(&a, &f, &s), Ok(seg_split(&a, &f, &s)));
+        assert_eq!(
+            try_seg_split_index(&f, &s),
+            Ok(seg_split_index(&f, &s))
+        );
+        use Bucket::*;
+        let b = [Mid, Lo, Hi, Mid, Lo, Hi];
+        assert_eq!(try_seg_split3(&a, &b, &s), Ok(seg_split3(&a, &b, &s)));
+
+        let short = [1u32, 2];
+        let err = Error::LengthMismatch {
+            expected: 6,
+            actual: 2,
+        };
+        assert_eq!(try_seg_copy(&short, &s), Err(err.clone()));
+        assert_eq!(try_seg_reduce::<Sum, _>(&short, &s), Err(err.clone()));
+        assert_eq!(try_seg_distribute::<Sum, _>(&short, &s), Err(err.clone()));
+        assert_eq!(try_seg_split(&short, &f[..2], &s), Err(err.clone()));
+        assert_eq!(try_seg_split_index(&f[..2], &s), Err(err));
+        assert_eq!(
+            try_seg_split3(&a, &b[..2], &s),
+            Err(Error::LengthMismatch {
+                expected: 6,
+                actual: 2
+            })
+        );
     }
 }

@@ -37,6 +37,27 @@ pub trait PrimitiveScans {
     fn max_scan(&self, a: &[u64]) -> Vec<u64>;
 }
 
+/// Shared backends delegate: a counted handle scans like its target,
+/// so one backend instance can serve several consumers (e.g. a checked
+/// executor *and* the harness reading its fault counters).
+impl<B: PrimitiveScans + ?Sized> PrimitiveScans for std::rc::Rc<B> {
+    fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).plus_scan(a)
+    }
+    fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).max_scan(a)
+    }
+}
+
+impl<B: PrimitiveScans + ?Sized> PrimitiveScans for &B {
+    fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).plus_scan(a)
+    }
+    fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).max_scan(a)
+    }
+}
+
 /// [`PrimitiveScans`] backed by this crate's software kernels.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SoftwareScans;
@@ -181,6 +202,9 @@ pub fn seg_max_scan_via_primitives<B: PrimitiveScans>(
         }
     }
     // Seg-Number = SFlag + enumerate(SFlag): 1-based segment ids.
+    // Wrapping on purpose: the backend may be a deliberately faulty
+    // circuit under fault injection, and garbage scan output must
+    // produce garbage values, not a panic.
     let flags01: Vec<u64> = (0..segs.len())
         .map(|i| u64::from(segs.is_head(i)))
         .collect();
@@ -188,9 +212,9 @@ pub fn seg_max_scan_via_primitives<B: PrimitiveScans>(
     let seg_number: Vec<u64> = flags01
         .iter()
         .zip(&enumerated)
-        .map(|(&f, &e)| f + e)
+        .map(|(&f, &e)| f.wrapping_add(e))
         .collect();
-    let seg_bits = bits_for(*seg_number.last().unwrap());
+    let seg_bits = bits_for(seg_number.last().copied().unwrap_or(0));
     if value_bits + seg_bits > 64 {
         return Err(Error::WidthOverflow {
             required: value_bits + seg_bits,
@@ -210,7 +234,13 @@ pub fn seg_max_scan_via_primitives<B: PrimitiveScans>(
     };
     let scanned = b.max_scan(&composite);
     Ok((0..values.len())
-        .map(|i| if segs.is_head(i) { 0 } else { scanned[i] & mask })
+        .map(|i| {
+            if segs.is_head(i) {
+                0
+            } else {
+                scanned.get(i).copied().unwrap_or(0) & mask
+            }
+        })
         .collect())
 }
 
@@ -237,7 +267,13 @@ pub fn seg_plus_scan_via_primitives<B: PrimitiveScans>(
     // `head ? s : 0` followed by combining with the element's own marked
     // value gives the inclusive head-copy.
     let marked: Vec<u64> = (0..values.len())
-        .map(|i| if segs.is_head(i) { s[i] } else { 0 })
+        .map(|i| {
+            if segs.is_head(i) {
+                s.get(i).copied().unwrap_or(0)
+            } else {
+                0
+            }
+        })
         .collect();
     let excl = seg_max_scan_via_primitives(b, &marked, segs, value_bits)?;
     let head_copy: Vec<u64> = excl
@@ -299,7 +335,7 @@ mod tests {
 
     #[test]
     fn i64_key_is_monotone() {
-        let v = vec![i64::MIN, -100, -1, 0, 1, 99, i64::MAX];
+        let v = [i64::MIN, -100, -1, 0, 1, 99, i64::MAX];
         let keys: Vec<u64> = v.iter().map(|&x| i64_key(x)).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();

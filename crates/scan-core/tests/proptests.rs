@@ -74,7 +74,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_mul(2654435761)) % 5 == 0)
+            .map(|i| (seed.wrapping_mul(i as u64 + 1).wrapping_mul(2654435761)).is_multiple_of(5))
             .collect();
         let segs = Segments::from_flags(flags);
         prop_assert_eq!(seg_scan::<Sum, _>(&a, &segs), ref_seg_scan::<Sum, _>(&a, &segs));
@@ -88,7 +88,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)) % 4 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).is_multiple_of(4))
             .collect();
         let segs = Segments::from_flags(flags);
         // inclusive == exclusive ⊕ own element
@@ -196,7 +196,7 @@ proptest! {
         let expect: Vec<u64> = counts
             .iter()
             .enumerate()
-            .flat_map(|(i, &c)| std::iter::repeat(i as u64).take(c))
+            .flat_map(|(i, &c)| std::iter::repeat_n(i as u64, c))
             .collect();
         prop_assert_eq!(d, expect);
     }
@@ -213,7 +213,7 @@ proptest! {
         prop_assert_eq!(simulate::and_scan(&b, &bools), scan::<And, _>(&bools));
         if !a.is_empty() {
             let flags: Vec<bool> = (0..a.len())
-                .map(|i| (seed ^ (i as u64).wrapping_mul(0x2545F4914F6CDD1D)) % 6 == 0)
+                .map(|i| (seed ^ (i as u64).wrapping_mul(0x2545F4914F6CDD1D)).is_multiple_of(6))
                 .collect();
             let segs = Segments::from_flags(flags);
             prop_assert_eq!(
@@ -240,10 +240,10 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0x94d049bb133111eb)) % 2 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x94d049bb133111eb)).is_multiple_of(2))
             .collect();
         let seg_flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0xbf58476d1ce4e5b9)) % 5 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0xbf58476d1ce4e5b9)).is_multiple_of(5))
             .collect();
         let segs = Segments::from_flags(seg_flags);
         let got = scan_core::segops::seg_split(&a, &flags, &segs);
@@ -268,7 +268,7 @@ proptest! {
             })
             .collect();
         let seg_flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)) % 4 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).is_multiple_of(4))
             .collect();
         let segs = Segments::from_flags(seg_flags);
         let r = scan_core::segops::seg_split3(&a, &buckets, &segs);
@@ -304,7 +304,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let flags: Vec<bool> = (0..a.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0xd6e8feb86659fd93)) % 6 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0xd6e8feb86659fd93)).is_multiple_of(6))
             .collect();
         let segs = Segments::from_flags(flags);
         let reduced = scan_core::segops::seg_reduce::<Sum, _>(&a, &segs);
@@ -313,8 +313,8 @@ proptest! {
         for (k, (s, e)) in segs.ranges().into_iter().enumerate() {
             let total: u64 = a[s..e].iter().sum();
             prop_assert_eq!(reduced[k], total);
-            for i in s..e {
-                prop_assert_eq!(distributed[i], total);
+            for &d in &distributed[s..e] {
+                prop_assert_eq!(d, total);
             }
         }
     }

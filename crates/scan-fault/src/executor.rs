@@ -1,0 +1,257 @@
+//! Self-checking scan execution: verify every primitive scan, retry a
+//! bounded number of times, then walk a fallback chain.
+//!
+//! The verifier (see [`crate::verify`]) is complete — an accepted
+//! output *is* the reference scan — so anything built on a
+//! [`CheckedExecutor`] (in particular `scan_pram::Ctx` with this as
+//! its backend) computes exactly what it would compute on fault-free
+//! hardware, no matter how corrupted the underlying circuit is. The
+//! cost of that guarantee is one O(n) pass per scan plus re-execution
+//! of the scans that fail it.
+
+use std::cell::Cell;
+
+use scan_core::simulate::PrimitiveScans;
+use scan_core::{Max, Sum};
+
+use crate::error::FaultError;
+use crate::verify::verify_scan;
+
+/// Counters describing what a [`CheckedExecutor`] has done so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckedStats {
+    /// Scan requests served.
+    pub scans: u64,
+    /// Backend invocations (≥ `scans`; larger when retries happen).
+    pub attempts: u64,
+    /// Outputs the verifier rejected.
+    pub detections: u64,
+    /// Re-invocations of the same backend after a rejection.
+    pub retries: u64,
+    /// Times execution moved past a backend to the next in the chain.
+    pub fallbacks: u64,
+    /// Scans ultimately served by the sequential reference because the
+    /// whole chain kept failing.
+    pub rescues: u64,
+}
+
+/// A verifying, retrying, falling-back `PrimitiveScans` wrapper.
+///
+/// Backends are tried in order; each gets `1 + retries` attempts, each
+/// attempt's output is verified in O(n). If the whole chain fails, the
+/// `PrimitiveScans` entry points serve the scan from the in-process
+/// sequential reference (and count a rescue), so they *never* return a
+/// corrupted scan; the `checked_*` variants instead surface
+/// [`FaultError::RetriesExhausted`].
+pub struct CheckedExecutor {
+    chain: Vec<Box<dyn PrimitiveScans>>,
+    retries: u32,
+    scans: Cell<u64>,
+    attempts: Cell<u64>,
+    detections: Cell<u64>,
+    retried: Cell<u64>,
+    fallbacks: Cell<u64>,
+    rescues: Cell<u64>,
+}
+
+impl core::fmt::Debug for CheckedExecutor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CheckedExecutor")
+            .field("chain_len", &self.chain.len())
+            .field("retries", &self.retries)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CheckedExecutor {
+    /// An executor whose first choice is `primary`; by default one
+    /// retry per backend and no further fallbacks (the sequential
+    /// reference always backstops the chain).
+    pub fn new(primary: Box<dyn PrimitiveScans>) -> Self {
+        CheckedExecutor {
+            chain: vec![primary],
+            retries: 1,
+            scans: Cell::new(0),
+            attempts: Cell::new(0),
+            detections: Cell::new(0),
+            retried: Cell::new(0),
+            fallbacks: Cell::new(0),
+            rescues: Cell::new(0),
+        }
+    }
+
+    /// Append a backend to the fallback chain (tried after everything
+    /// already in the chain).
+    pub fn with_fallback(mut self, backend: Box<dyn PrimitiveScans>) -> Self {
+        self.chain.push(backend);
+        self
+    }
+
+    /// Retries per backend after a rejected output (default 1).
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Snapshot of the executor's counters.
+    pub fn stats(&self) -> CheckedStats {
+        CheckedStats {
+            scans: self.scans.get(),
+            attempts: self.attempts.get(),
+            detections: self.detections.get(),
+            retries: self.retried.get(),
+            fallbacks: self.fallbacks.get(),
+            rescues: self.rescues.get(),
+        }
+    }
+
+    fn run(&self, max: bool, a: &[u64]) -> crate::Result<Vec<u64>> {
+        self.scans.set(self.scans.get() + 1);
+        let mut attempts_here = 0u32;
+        for (b_idx, backend) in self.chain.iter().enumerate() {
+            if b_idx > 0 {
+                self.fallbacks.set(self.fallbacks.get() + 1);
+            }
+            for attempt in 0..=self.retries {
+                attempts_here += 1;
+                self.attempts.set(self.attempts.get() + 1);
+                if attempt > 0 {
+                    self.retried.set(self.retried.get() + 1);
+                }
+                let out = if max {
+                    backend.max_scan(a)
+                } else {
+                    backend.plus_scan(a)
+                };
+                let ok = if max {
+                    verify_scan::<Max, u64>(a, &out)
+                } else {
+                    verify_scan::<Sum, u64>(a, &out)
+                };
+                match ok {
+                    Ok(()) => return Ok(out),
+                    Err(_) => self.detections.set(self.detections.get() + 1),
+                }
+            }
+        }
+        Err(FaultError::RetriesExhausted {
+            attempts: attempts_here,
+        })
+    }
+
+    /// Verified `+-scan`: correct output or a typed error.
+    pub fn checked_plus_scan(&self, a: &[u64]) -> crate::Result<Vec<u64>> {
+        self.run(false, a)
+    }
+
+    /// Verified `max-scan`: correct output or a typed error.
+    pub fn checked_max_scan(&self, a: &[u64]) -> crate::Result<Vec<u64>> {
+        self.run(true, a)
+    }
+
+    fn rescue(&self, max: bool, a: &[u64]) -> Vec<u64> {
+        self.rescues.set(self.rescues.get() + 1);
+        if max {
+            scan_core::scan::<Max, _>(a)
+        } else {
+            scan_core::scan::<Sum, _>(a)
+        }
+    }
+}
+
+impl PrimitiveScans for CheckedExecutor {
+    fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(false, a).unwrap_or_else(|_| self.rescue(false, a))
+    }
+
+    fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+        self.run(true, a).unwrap_or_else(|_| self.rescue(true, a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FaultyCircuitBackend;
+    use crate::plan::FaultPlan;
+    use scan_core::simulate::SoftwareScans;
+
+    /// A backend that is wrong every time.
+    struct AlwaysWrong;
+    impl PrimitiveScans for AlwaysWrong {
+        fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+            vec![u64::MAX; a.len()]
+        }
+        fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+            vec![u64::MAX; a.len()]
+        }
+    }
+
+    #[test]
+    fn clean_backend_passes_straight_through() {
+        let ex = CheckedExecutor::new(Box::new(SoftwareScans));
+        let a: Vec<u64> = (0..40).map(|i| i * 3).collect();
+        assert_eq!(
+            ex.checked_plus_scan(&a).unwrap(),
+            scan_core::scan::<Sum, _>(&a)
+        );
+        assert_eq!(
+            ex.checked_max_scan(&a).unwrap(),
+            scan_core::scan::<Max, _>(&a)
+        );
+        let s = ex.stats();
+        assert_eq!(s.scans, 2);
+        assert_eq!(s.attempts, 2);
+        assert_eq!(s.detections, 0);
+        assert_eq!(s.rescues, 0);
+    }
+
+    #[test]
+    fn always_wrong_primary_falls_back() {
+        let ex = CheckedExecutor::new(Box::new(AlwaysWrong)).with_fallback(Box::new(SoftwareScans));
+        let a: Vec<u64> = (0..20).collect();
+        assert_eq!(
+            ex.checked_plus_scan(&a).unwrap(),
+            scan_core::scan::<Sum, _>(&a)
+        );
+        let s = ex.stats();
+        assert_eq!(s.detections, 2, "both primary attempts rejected");
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.fallbacks, 1);
+    }
+
+    #[test]
+    fn exhausted_chain_is_a_typed_error_but_trait_rescues() {
+        let ex = CheckedExecutor::new(Box::new(AlwaysWrong)).with_retries(2);
+        let a: Vec<u64> = (0..10).collect();
+        assert_eq!(
+            ex.checked_plus_scan(&a).unwrap_err(),
+            FaultError::RetriesExhausted { attempts: 3 }
+        );
+        // The PrimitiveScans view never returns garbage: it rescues.
+        assert_eq!(ex.plus_scan(&a), scan_core::scan::<Sum, _>(&a));
+        assert_eq!(ex.stats().rescues, 1);
+    }
+
+    #[test]
+    fn faulty_circuit_is_tamed() {
+        let a: Vec<u64> = (0..64).map(|i| (i * 13) % 127).collect();
+        let faulty = FaultyCircuitBackend::new(64, FaultPlan::new(7));
+        let ex = CheckedExecutor::new(Box::new(faulty)).with_retries(3);
+        for _ in 0..30 {
+            assert_eq!(ex.plus_scan(&a), scan_core::scan::<Sum, _>(&a));
+            assert_eq!(ex.max_scan(&a), scan_core::scan::<Max, _>(&a));
+        }
+        let s = ex.stats();
+        assert_eq!(s.scans, 60);
+        assert!(s.detections > 0, "a plan faulting every scan must trip");
+        assert!(s.attempts > s.scans);
+    }
+
+    #[test]
+    fn empty_input() {
+        let ex = CheckedExecutor::new(Box::new(SoftwareScans));
+        assert!(ex.checked_plus_scan(&[]).unwrap().is_empty());
+    }
+}

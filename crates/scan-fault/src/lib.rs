@@ -1,0 +1,41 @@
+//! # scan-fault
+//!
+//! Fault injection and self-checking execution for the scan stack.
+//!
+//! The paper's machine stakes everything on one primitive: if the scan
+//! unit lies, every algorithm built on it (§4–§6) silently computes
+//! garbage. This crate closes that gap in two moves:
+//!
+//! 1. **Deterministic fault injection** — [`FaultPlan`] schedules
+//!    seed-reproducible transient bit flips into the cycle-accurate
+//!    tree circuit (state machine bits, shift-register cells, and
+//!    inter-unit wires — see `scan_circuit::FaultSite`), delivered by
+//!    [`FaultyCircuitBackend`]; the [`plan::adversarial`] generators
+//!    produce the hostile *inputs* (duplicate permute indices, length
+//!    mismatches, width overflows) that the checked ops layer must
+//!    reject with typed errors.
+//! 2. **Self-checking execution** — the [`verify`] module checks a
+//!    scan output in one O(n) pass using the exclusive-scan
+//!    recurrence (`out[0] = identity`, `out[i] = out[i-1] ⊕ a[i-1]`,
+//!    restarting at segment heads); the check passes *iff* the output
+//!    equals the reference scan. [`CheckedExecutor`] wraps any
+//!    `PrimitiveScans` backend with verify-and-retry plus a fallback
+//!    chain (e.g. circuit → bit-sliced → software), so everything
+//!    routed through it — including all of `scan_pram::Ctx` via
+//!    `Ctx::with_backend` — returns correct results or a clean typed
+//!    [`FaultError`], never silent corruption.
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod backend;
+pub mod error;
+pub mod executor;
+pub mod plan;
+pub mod verify;
+
+pub use backend::FaultyCircuitBackend;
+pub use error::{CorruptionKind, FaultError, Result};
+pub use executor::{CheckedExecutor, CheckedStats};
+pub use plan::{FaultPlan, SplitMix64};
+pub use verify::{verify_scan, verify_scan_backward, verify_seg_scan, verify_seg_scan_backward};

@@ -1,0 +1,224 @@
+//! Deterministic, seedable fault plans.
+//!
+//! A [`FaultPlan`] decides — purely as a function of its seed and the
+//! running scan index — which bits of the circuit flip on which clock
+//! cycle. Two runs with the same seed inject exactly the same faults,
+//! so every campaign is reproducible from one `u64`.
+//!
+//! The module also provides generators of *adversarial inputs* for the
+//! checked ops layer: duplicate permute indices, mismatched lengths and
+//! width overflows, the precondition failures that must surface as
+//! typed errors rather than panics.
+
+use scan_circuit::{CircuitFault, FaultSite};
+
+/// SplitMix64 — the tiny, full-period seed scrambler. Deterministic
+/// and state-free per call: the `n`-th value of a stream is a pure
+/// function of `seed + n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Advance the state and return the next 64-bit value.
+    // Deliberately named like `Iterator::next`; the generator is
+    // infinite, so the iterator protocol's `Option` would only add noise.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value in `0..bound` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next() % bound
+        }
+    }
+}
+
+/// A deterministic schedule of transient circuit faults.
+///
+/// `faults_for(i, …)` yields the flips for the `i`-th scan the backend
+/// executes: every `every`-th scan receives `flips` single-bit upsets
+/// at seed-derived sites and cycles, the rest run clean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    seed: u64,
+    every: u64,
+    flips: usize,
+}
+
+impl FaultPlan {
+    /// A plan that faults every scan with one bit flip.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            every: 1,
+            flips: 1,
+        }
+    }
+
+    /// Fault only every `every`-th scan (1 = every scan; 0 is treated
+    /// as 1).
+    pub fn every(mut self, every: u64) -> Self {
+        self.every = every.max(1);
+        self
+    }
+
+    /// Inject `flips` bit flips into each faulted scan.
+    pub fn flips(mut self, flips: usize) -> Self {
+        self.flips = flips;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The faults to inject into scan number `scan_index`, drawn from
+    /// the circuit's fault universe `sites` over a run of
+    /// `total_cycles` clocks. Empty when this scan is scheduled clean
+    /// or the circuit has no fault sites.
+    pub fn faults_for(
+        &self,
+        scan_index: u64,
+        sites: &[FaultSite],
+        total_cycles: u64,
+    ) -> Vec<CircuitFault> {
+        if !scan_index.is_multiple_of(self.every) || sites.is_empty() || total_cycles == 0 {
+            return Vec::new();
+        }
+        // Decorrelate the per-scan stream from the raw seed so plans
+        // with nearby seeds do not share fault sequences.
+        let mut rng = SplitMix64(self.seed ^ scan_index.wrapping_mul(0xA24BAED4963EE407));
+        (0..self.flips)
+            .map(|_| CircuitFault {
+                cycle: rng.below(total_cycles),
+                site: sites[rng.below(sites.len() as u64) as usize],
+            })
+            .collect()
+    }
+}
+
+/// Adversarial inputs for the checked ops layer: each generator
+/// produces an input that violates one documented precondition.
+pub mod adversarial {
+    use super::SplitMix64;
+
+    /// A permutation of `0..n` with one index duplicated (and therefore
+    /// one missing) — must be rejected as `DuplicateIndex`.
+    pub fn duplicate_permute_indices(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SplitMix64(seed);
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Fisher–Yates with the seeded stream.
+        for i in (1..n).rev() {
+            idx.swap(i, rng.below(i as u64 + 1) as usize);
+        }
+        if n >= 2 {
+            let pos = rng.below(n as u64) as usize;
+            let dup = idx[(pos + 1) % n];
+            idx[pos] = dup;
+        }
+        idx
+    }
+
+    /// An index vector with one entry pointing past the end — must be
+    /// rejected as `IndexOutOfBounds`.
+    pub fn out_of_bounds_indices(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = SplitMix64(seed);
+        let mut idx: Vec<usize> = (0..n)
+            .map(|_| rng.below(n.max(1) as u64) as usize)
+            .collect();
+        if n > 0 {
+            let pos = rng.below(n as u64) as usize;
+            idx[pos] = n + rng.below(16) as usize;
+        }
+        idx
+    }
+
+    /// A flag vector whose length disagrees with `n` by at least one —
+    /// must be rejected as `LengthMismatch`.
+    pub fn mismatched_flags(n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = SplitMix64(seed);
+        let m = if n == 0 || rng.next() & 1 == 0 {
+            n + 1 + rng.below(3) as usize
+        } else {
+            n - 1
+        };
+        (0..m).map(|_| rng.next() & 1 == 1).collect()
+    }
+
+    /// Values of which at least one needs more than `m_bits` bits
+    /// (`m_bits < 64`) — must be rejected as `WidthOverflow` by
+    /// width-checked layers.
+    pub fn width_overflow_values(n: usize, m_bits: u32, seed: u64) -> Vec<u64> {
+        assert!(m_bits < 64, "64-bit fields cannot overflow");
+        let mut rng = SplitMix64(seed);
+        let mask = (1u64 << m_bits) - 1;
+        let mut v: Vec<u64> = (0..n.max(1)).map(|_| rng.next() & mask).collect();
+        let pos = rng.below(v.len() as u64) as usize;
+        v[pos] = mask + 1 + rng.below(7);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_circuit::TreeScanCircuit;
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let c = TreeScanCircuit::new(16);
+        let sites = c.fault_sites();
+        let p = FaultPlan::new(42);
+        let a = p.faults_for(7, &sites, 20);
+        let b = p.faults_for(7, &sites, 20);
+        assert_eq!(a, b, "same seed, same scan, same faults");
+        assert_eq!(a.len(), 1);
+        let other = FaultPlan::new(43).faults_for(7, &sites, 20);
+        assert_ne!(a, other, "different seed diverges");
+        assert!(a[0].cycle < 20);
+        assert!(sites.contains(&a[0].site));
+    }
+
+    #[test]
+    fn every_and_flips_shape_the_schedule() {
+        let c = TreeScanCircuit::new(8);
+        let sites = c.fault_sites();
+        let p = FaultPlan::new(1).every(3).flips(2);
+        assert_eq!(p.faults_for(0, &sites, 16).len(), 2);
+        assert!(p.faults_for(1, &sites, 16).is_empty());
+        assert!(p.faults_for(2, &sites, 16).is_empty());
+        assert_eq!(p.faults_for(3, &sites, 16).len(), 2);
+        assert!(p.faults_for(0, &[], 16).is_empty());
+        assert!(p.faults_for(0, &sites, 0).is_empty());
+    }
+
+    #[test]
+    fn adversarial_generators_violate_their_preconditions() {
+        for seed in 0..32u64 {
+            let dup = adversarial::duplicate_permute_indices(8, seed);
+            assert_eq!(dup.len(), 8);
+            let mut sorted = dup.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert!(sorted.len() < 8, "seed={seed}: no duplicate in {dup:?}");
+
+            let oob = adversarial::out_of_bounds_indices(8, seed);
+            assert!(oob.iter().any(|&i| i >= 8), "seed={seed}");
+
+            let flags = adversarial::mismatched_flags(8, seed);
+            assert_ne!(flags.len(), 8, "seed={seed}");
+
+            let wide = adversarial::width_overflow_values(8, 8, seed);
+            assert!(wide.iter().any(|&v| v > 0xFF), "seed={seed}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! O(n) self-checking of scan outputs.
+//!
+//! An exclusive scan is uniquely determined by a local recurrence:
+//! `out[0]` is the operator identity and `out[i] = out[i-1] ⊕ a[i-1]`,
+//! restarting at every segment head. Checking the recurrence costs one
+//! operator application per element — a single unsegmented vector pass,
+//! asymptotically free next to the scan's own work on a sequential
+//! host and a constant number of program steps on the paper's machine.
+//!
+//! The check is **complete**: by induction on `i`, an output passes if
+//! and only if it equals the reference scan. A verified-then-accepted
+//! scan can therefore never be silently corrupted — any single (or
+//! multi) bit upset that changes the output is detected.
+
+use scan_core::{ScanElem, ScanOp, Segments};
+
+use crate::error::{CorruptionKind, FaultError};
+
+/// Verify an unsegmented exclusive scan output in one O(n) pass.
+pub fn verify_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], out: &[T]) -> crate::Result<()> {
+    verify_with::<O, T>(a, out, |_| false)
+}
+
+/// Verify an unsegmented **backward** exclusive scan output.
+pub fn verify_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T], out: &[T]) -> crate::Result<()> {
+    verify_backward_with::<O, T>(a, out, |_| false)
+}
+
+/// Verify a segmented exclusive scan output: the recurrence restarts
+/// (with the identity) at every segment head.
+pub fn verify_seg_scan<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    segs: &Segments,
+    out: &[T],
+) -> crate::Result<()> {
+    if segs.len() != a.len() {
+        return Err(scan_core::Error::LengthMismatch {
+            expected: a.len(),
+            actual: segs.len(),
+        }
+        .into());
+    }
+    verify_with::<O, T>(a, out, |i| segs.is_head(i))
+}
+
+/// Verify a segmented **backward** exclusive scan output: the
+/// recurrence restarts at every segment *end*.
+pub fn verify_seg_scan_backward<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    segs: &Segments,
+    out: &[T],
+) -> crate::Result<()> {
+    if segs.len() != a.len() {
+        return Err(scan_core::Error::LengthMismatch {
+            expected: a.len(),
+            actual: segs.len(),
+        }
+        .into());
+    }
+    let n = a.len();
+    verify_backward_with::<O, T>(a, out, |i| i + 1 == n || segs.is_head(i + 1))
+}
+
+fn verify_with<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    out: &[T],
+    is_head: impl Fn(usize) -> bool,
+) -> crate::Result<()> {
+    if out.len() != a.len() {
+        return Err(FaultError::Corrupted {
+            index: out.len().min(a.len()),
+            check: CorruptionKind::Length,
+        });
+    }
+    for i in 0..a.len() {
+        if i == 0 || is_head(i) {
+            if out[i] != O::identity() {
+                return Err(FaultError::Corrupted {
+                    index: i,
+                    check: CorruptionKind::IdentityAtHead,
+                });
+            }
+        } else if out[i] != O::combine(out[i - 1], a[i - 1]) {
+            return Err(FaultError::Corrupted {
+                index: i,
+                check: CorruptionKind::Recurrence,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn verify_backward_with<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    out: &[T],
+    is_end: impl Fn(usize) -> bool,
+) -> crate::Result<()> {
+    if out.len() != a.len() {
+        return Err(FaultError::Corrupted {
+            index: out.len().min(a.len()),
+            check: CorruptionKind::Length,
+        });
+    }
+    let n = a.len();
+    for i in (0..n).rev() {
+        if i + 1 == n || is_end(i) {
+            if out[i] != O::identity() {
+                return Err(FaultError::Corrupted {
+                    index: i,
+                    check: CorruptionKind::IdentityAtHead,
+                });
+            }
+        } else if out[i] != O::combine(a[i + 1], out[i + 1]) {
+            return Err(FaultError::Corrupted {
+                index: i,
+                check: CorruptionKind::Recurrence,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scan_core::{Max, Min, Or, Sum};
+
+    #[test]
+    fn accepts_correct_forward_scans() {
+        let a = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        verify_scan::<Sum, _>(&a, &scan_core::scan::<Sum, _>(&a)).unwrap();
+        verify_scan::<Max, _>(&a, &scan_core::scan::<Max, _>(&a)).unwrap();
+        verify_scan::<Min, _>(&a, &scan_core::scan::<Min, _>(&a)).unwrap();
+        let b = [true, false, true, false];
+        verify_scan::<Or, _>(&b, &scan_core::scan::<Or, _>(&b)).unwrap();
+        verify_scan::<Sum, u64>(&[], &[]).unwrap();
+    }
+
+    #[test]
+    fn accepts_correct_backward_and_segmented_scans() {
+        let a = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        let segs = Segments::from_lengths(&[3, 1, 4]);
+        verify_scan_backward::<Sum, _>(&a, &scan_core::scan_backward::<Sum, _>(&a)).unwrap();
+        verify_seg_scan::<Sum, _>(&a, &segs, &scan_core::seg_scan::<Sum, _>(&a, &segs)).unwrap();
+        verify_seg_scan::<Max, _>(&a, &segs, &scan_core::seg_scan::<Max, _>(&a, &segs)).unwrap();
+        verify_seg_scan_backward::<Sum, _>(
+            &a,
+            &segs,
+            &scan_core::seg_scan_backward::<Sum, _>(&a, &segs),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn every_single_position_corruption_is_detected() {
+        let a = [5u64, 1, 3, 4, 3, 9, 2, 6];
+        let segs = Segments::from_lengths(&[3, 5]);
+        let good = scan_core::seg_scan::<Sum, _>(&a, &segs);
+        for i in 0..a.len() {
+            for flip in [1u64, 1 << 17, 1 << 63] {
+                let mut bad = good.clone();
+                bad[i] ^= flip;
+                let err = verify_seg_scan::<Sum, _>(&a, &segs, &bad).unwrap_err();
+                assert!(
+                    matches!(err, FaultError::Corrupted { .. }),
+                    "i={i} flip={flip:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn completeness_on_random_outputs() {
+        // Any output that differs from the reference is rejected; the
+        // reference itself is accepted (invariant <=> equality).
+        let mut x = 3u64;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 20
+        };
+        for n in [1usize, 2, 5, 16] {
+            let a: Vec<u64> = (0..n).map(|_| rng() & 0xFF).collect();
+            let good = scan_core::scan::<Sum, _>(&a);
+            for _ in 0..50 {
+                let cand: Vec<u64> = (0..n).map(|_| rng() & 0xFF).collect();
+                assert_eq!(
+                    verify_scan::<Sum, _>(&a, &cand).is_ok(),
+                    cand == good,
+                    "n={n} cand={cand:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn length_and_flag_mismatches_are_typed() {
+        let a = [1u64, 2, 3];
+        let err = verify_scan::<Sum, _>(&a, &[0, 1]).unwrap_err();
+        assert!(matches!(
+            err,
+            FaultError::Corrupted {
+                check: CorruptionKind::Length,
+                ..
+            }
+        ));
+        let segs = Segments::from_lengths(&[2]);
+        let err = verify_seg_scan::<Sum, _>(&a, &segs, &[0, 0, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            FaultError::Core(scan_core::Error::LengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+}

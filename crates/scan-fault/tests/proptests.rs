@@ -1,0 +1,195 @@
+//! Property tests for the robustness layer:
+//!
+//! 1. **No-panic invariant** — every checked (`try_*`) vector
+//!    operation and every VM instruction returns `Ok` or a typed
+//!    error on *arbitrary* (including hostile) inputs; it never
+//!    panics.
+//! 2. **Verifier soundness on accepted runs** — for every scan that
+//!    executes successfully (forward, backward, segmented; `+`, `max`,
+//!    `min`, `or`, `and`), the O(n) postcondition verifier accepts the
+//!    output.
+
+use proptest::prelude::*;
+use scan_core::ops::{self, Bucket};
+use scan_core::segops;
+use scan_core::{And, Max, Min, Or, Segments, Sum};
+use scan_fault::{verify_scan, verify_scan_backward, verify_seg_scan, verify_seg_scan_backward};
+use scan_pram::{Ctx, Instr, Model, Vm, VmLimits};
+
+fn seg_from_seed(n: usize, seed: u64) -> Segments {
+    Segments::from_flags(
+        (0..n)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).is_multiple_of(4))
+            .collect(),
+    )
+}
+
+proptest! {
+    // ---- 1a. try_* ops never panic, whatever the shapes. ----
+
+    #[test]
+    fn try_ops_never_panic(
+        a in proptest::collection::vec(any::<u64>(), 0..120),
+        idx in proptest::collection::vec(0usize..150, 0..120),
+        flags in proptest::collection::vec(any::<bool>(), 0..120),
+        counts in proptest::collection::vec(0usize..6, 0..120),
+        seed in any::<u64>(),
+    ) {
+        // Deliberately mismatched lengths, duplicate and out-of-range
+        // indices: each call must return Ok or a typed error.
+        let _ = ops::try_copy_first(&a);
+        let _ = ops::try_permute(&a, &idx);
+        let _ = ops::try_gather(&a, &idx);
+        let _ = ops::try_split(&a, &flags);
+        let _ = ops::try_split_count(&a, &flags);
+        let _ = ops::try_pack(&a, &flags);
+        let _ = ops::try_select(&flags, &a, &a);
+        let buckets: Vec<Bucket> = idx
+            .iter()
+            .map(|&i| match i % 3 {
+                0 => Bucket::Lo,
+                1 => Bucket::Mid,
+                _ => Bucket::Hi,
+            })
+            .collect();
+        let _ = ops::try_split3(&a, &buckets);
+        let b: Vec<u64> = a.iter().rev().copied().collect();
+        let _ = ops::try_flag_merge(&flags, &a, &b);
+        let segs = seg_from_seed(flags.len(), seed);
+        let _ = segops::try_seg_copy(&a, &segs);
+        let _ = segops::try_seg_reduce::<Sum, _>(&a, &segs);
+        let _ = segops::try_seg_distribute::<Max, _>(&a, &segs);
+        let _ = segops::try_seg_split(&a, &flags, &segs);
+        let _ = segops::try_seg_split3(&a, &buckets, &segs);
+        let _ = scan_core::allocate::try_distribute(&a, &counts);
+    }
+
+    // ---- 1b. Ok results imply the documented postcondition. ----
+
+    #[test]
+    fn try_ops_ok_implies_postcondition(
+        a in proptest::collection::vec(any::<u64>(), 0..120),
+        idx in proptest::collection::vec(0usize..150, 0..120),
+        flags in proptest::collection::vec(any::<bool>(), 0..120),
+    ) {
+        if let Ok(g) = ops::try_gather(&a, &idx) {
+            prop_assert_eq!(g.len(), idx.len());
+            for (k, &i) in idx.iter().enumerate() {
+                prop_assert_eq!(g[k], a[i]);
+            }
+        }
+        if let Ok(p) = ops::try_permute(&a, &idx) {
+            prop_assert_eq!(p.len(), a.len());
+            for (k, &i) in idx.iter().enumerate() {
+                prop_assert_eq!(p[i], a[k], "permute sends a[k] to idx[k]");
+            }
+        }
+        if let Ok(packed) = ops::try_pack(&a, &flags) {
+            let expect: Vec<u64> = a
+                .iter()
+                .zip(&flags)
+                .filter(|(_, &k)| k)
+                .map(|(&x, _)| x)
+                .collect();
+            prop_assert_eq!(packed, expect);
+        }
+    }
+
+    // ---- 1c. VM instructions never panic on hostile registers. ----
+
+    #[test]
+    fn vm_instructions_never_panic(
+        a in proptest::collection::vec(any::<u64>(), 0..60),
+        b in proptest::collection::vec(any::<u64>(), 0..60),
+        idx in proptest::collection::vec(0u64..80, 0..60),
+        seed in any::<u64>(),
+    ) {
+        let mut vm = Vm::with_limits(
+            Model::Scan,
+            VmLimits::default()
+                .with_max_steps(10_000)
+                .with_max_register_words(1 << 16),
+        );
+        vm.load("a", a.clone());
+        vm.load("b", b.clone());
+        vm.load("idx", idx.clone());
+        vm.load("flags", a.iter().map(|&x| x & 1).collect());
+        // Every instruction kind, many with mismatched operand shapes:
+        // each step returns Ok or a typed VmError, never panics.
+        let program = [
+            Instr::Const { dst: "c", like: "a", value: seed },
+            Instr::Iota { dst: "i", like: "b" },
+            Instr::Add { dst: "t", a: "a", b: "b" },
+            Instr::Sub { dst: "t", a: "a", b: "idx" },
+            Instr::MinV { dst: "t", a: "b", b: "idx" },
+            Instr::MaxV { dst: "t", a: "a", b: "a" },
+            Instr::Bit { dst: "t", src: "a", amount: (seed % 64) as u32 },
+            Instr::Lt { dst: "t", a: "a", b: "b" },
+            Instr::Eq { dst: "t", a: "a", b: "flags" },
+            Instr::Select { dst: "t", cond: "flags", a: "a", b: "b" },
+            Instr::PlusScan { dst: "t", src: "a" },
+            Instr::MaxScan { dst: "t", src: "b" },
+            Instr::SegPlusScan { dst: "t", src: "a", flags: "flags" },
+            Instr::SegMaxScan { dst: "t", src: "a", flags: "idx" },
+            Instr::Enumerate { dst: "t", flags: "flags" },
+            Instr::Permute { dst: "t", src: "a", idx: "idx" },
+            Instr::Gather { dst: "t", src: "b", idx: "idx" },
+            Instr::Split { dst: "t", src: "a", flags: "flags" },
+            Instr::PlusDistribute { dst: "t", src: "a" },
+            Instr::MinDistribute { dst: "t", src: "b" },
+            Instr::Gather { dst: "t", src: "a", idx: "missing" },
+        ];
+        for instr in program {
+            let _ = vm.step(instr);
+        }
+    }
+
+    // ---- 2. The verifier accepts every scan that returns Ok. ----
+
+    #[test]
+    fn verifier_accepts_every_ok_scan(
+        a in proptest::collection::vec(any::<u64>(), 0..400),
+        seed in any::<u64>(),
+    ) {
+        // Unsegmented, all five operators, forward and backward.
+        verify_scan::<Sum, _>(&a, &scan_core::scan::<Sum, _>(&a)).unwrap();
+        verify_scan::<Max, _>(&a, &scan_core::scan::<Max, _>(&a)).unwrap();
+        verify_scan::<Min, _>(&a, &scan_core::scan::<Min, _>(&a)).unwrap();
+        verify_scan::<Or, _>(&a, &scan_core::scan::<Or, _>(&a)).unwrap();
+        verify_scan::<And, _>(&a, &scan_core::scan::<And, _>(&a)).unwrap();
+        verify_scan_backward::<Sum, _>(&a, &scan_core::scan_backward::<Sum, _>(&a)).unwrap();
+        verify_scan_backward::<Min, _>(&a, &scan_core::scan_backward::<Min, _>(&a)).unwrap();
+
+        // Segmented, forward and backward.
+        let segs = seg_from_seed(a.len(), seed);
+        verify_seg_scan::<Sum, _>(&a, &segs, &scan_core::seg_scan::<Sum, _>(&a, &segs)).unwrap();
+        verify_seg_scan::<Max, _>(&a, &segs, &scan_core::seg_scan::<Max, _>(&a, &segs)).unwrap();
+        verify_seg_scan::<Or, _>(&a, &segs, &scan_core::seg_scan::<Or, _>(&a, &segs)).unwrap();
+        verify_seg_scan_backward::<Sum, _>(
+            &a,
+            &segs,
+            &scan_core::seg_scan_backward::<Sum, _>(&a, &segs),
+        )
+        .unwrap();
+        verify_seg_scan_backward::<And, _>(
+            &a,
+            &segs,
+            &scan_core::seg_scan_backward::<And, _>(&a, &segs),
+        )
+        .unwrap();
+    }
+
+    // ---- 2b. The same holds for Ctx-routed scans over a backend. ----
+
+    #[test]
+    fn verifier_accepts_ctx_routed_scans(
+        a in proptest::collection::vec(0u64..1_000_000, 0..200),
+    ) {
+        use std::rc::Rc;
+        use scan_core::simulate::SoftwareScans;
+        let mut ctx = Ctx::new(Model::Scan).with_backend(Rc::new(SoftwareScans));
+        verify_scan::<Sum, _>(&a, &ctx.scan::<Sum, _>(&a)).unwrap();
+        verify_scan::<Max, _>(&a, &ctx.scan::<Max, _>(&a)).unwrap();
+        verify_scan_backward::<Sum, _>(&a, &ctx.scan_backward::<Sum, _>(&a)).unwrap();
+    }
+}

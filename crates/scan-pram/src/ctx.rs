@@ -12,14 +12,18 @@
 //! but `O(lg n)` steps in the pure EREW model where each scan costs a
 //! tree traversal.
 
+use std::rc::Rc;
+
 use scan_core::element::ScanElem;
 use scan_core::op::ScanOp;
 use scan_core::ops::{self, Bucket};
 use scan_core::segmented::{self, Segments};
 use scan_core::segops;
+use scan_core::simulate::PrimitiveScans;
 use scan_core::{allocate as core_allocate, Allocation};
 
 use crate::model::Model;
+use crate::route;
 use crate::stats::{Stats, StepKind};
 
 /// A step-counting scan-model machine.
@@ -28,13 +32,33 @@ use crate::stats::{Stats, StepKind};
 /// for every operation, the paper's initial assumption in §2.1). Use
 /// [`Ctx::with_processors`] to fix `p` and measure the long-vector
 /// costs of §2.5.
-#[derive(Debug, Clone)]
+///
+/// A [`PrimitiveScans`] backend can be plugged in with
+/// [`Ctx::with_backend`]; scans and scan-derived operations are then
+/// routed onto the backend's two primitives per the §3.4 constructions
+/// (the crate's `route` module), falling back to the software kernels
+/// for element/operator pairs with no construction.
+#[derive(Clone)]
 pub struct Ctx {
     model: Model,
     procs: Option<usize>,
     stats: Stats,
     strict: bool,
     merge_primitive: bool,
+    backend: Option<Rc<dyn PrimitiveScans>>,
+}
+
+impl core::fmt::Debug for Ctx {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ctx")
+            .field("model", &self.model)
+            .field("procs", &self.procs)
+            .field("stats", &self.stats)
+            .field("strict", &self.strict)
+            .field("merge_primitive", &self.merge_primitive)
+            .field("backend", &self.backend.as_ref().map(|_| "dyn PrimitiveScans"))
+            .finish()
+    }
 }
 
 impl Ctx {
@@ -46,6 +70,7 @@ impl Ctx {
             stats: Stats::new(),
             strict: false,
             merge_primitive: false,
+            backend: None,
         }
     }
 
@@ -59,7 +84,26 @@ impl Ctx {
             stats: Stats::new(),
             strict: false,
             merge_primitive: false,
+            backend: None,
         }
+    }
+
+    /// Route primitive scans (and the operations derived from them)
+    /// through `backend` — e.g. the simulated tree circuit from the
+    /// `scan-circuit` crate, or a fault-injecting wrapper around it.
+    pub fn with_backend(mut self, backend: Rc<dyn PrimitiveScans>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Install or remove the primitive-scan backend.
+    pub fn set_backend(&mut self, backend: Option<Rc<dyn PrimitiveScans>>) {
+        self.backend = backend;
+    }
+
+    /// Whether a primitive-scan backend is installed.
+    pub fn has_backend(&self) -> bool {
+        self.backend.is_some()
     }
 
     /// Enable strict access checking: an EREW machine will panic on a
@@ -247,6 +291,11 @@ impl Ctx {
     /// Exclusive scan. Charge: 1 scan.
     pub fn scan<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> Vec<T> {
         self.charge_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::scan::<O, T>(b.as_ref(), a) {
+                return out;
+            }
+        }
         scan_core::scan::<O, T>(a)
     }
 
@@ -255,6 +304,11 @@ impl Ctx {
     pub fn scan_with_total<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> (Vec<T>, T) {
         self.charge_scan(a.len());
         self.charge_elementwise(a.len().min(1));
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::scan_with_total::<O, T>(b.as_ref(), a) {
+                return out;
+            }
+        }
         scan_core::scan_with_total::<O, T>(a)
     }
 
@@ -262,12 +316,28 @@ impl Ctx {
     pub fn inclusive_scan<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> Vec<T> {
         self.charge_scan(a.len());
         self.charge_elementwise(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(excl) = route::scan::<O, T>(b.as_ref(), a) {
+                if excl.len() == a.len() {
+                    return excl
+                        .iter()
+                        .zip(a)
+                        .map(|(&e, &x)| O::combine(e, x))
+                        .collect();
+                }
+            }
+        }
         scan_core::inclusive_scan::<O, T>(a)
     }
 
     /// Exclusive backward scan (§2.1). Charge: 1 scan.
     pub fn scan_backward<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> Vec<T> {
         self.charge_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::scan_backward::<O, T>(b.as_ref(), a) {
+                return out;
+            }
+        }
         scan_core::scan_backward::<O, T>(a)
     }
 
@@ -275,12 +345,28 @@ impl Ctx {
     pub fn inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> Vec<T> {
         self.charge_scan(a.len());
         self.charge_elementwise(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(excl) = route::scan_backward::<O, T>(b.as_ref(), a) {
+                if excl.len() == a.len() {
+                    return excl
+                        .iter()
+                        .zip(a)
+                        .map(|(&e, &x)| O::combine(e, x))
+                        .collect();
+                }
+            }
+        }
         scan_core::inclusive_scan_backward::<O, T>(a)
     }
 
     /// Reduction. Charge: 1 scan (an up sweep).
     pub fn reduce<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T]) -> T {
         self.charge_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some((_, total)) = route::scan_with_total::<O, T>(b.as_ref(), a) {
+                return total;
+            }
+        }
         scan_core::reduce::<O, T>(a)
     }
 
@@ -290,6 +376,11 @@ impl Ctx {
     /// primitive scans, §3.4).
     pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(&mut self, a: &[T], segs: &Segments) -> Vec<T> {
         self.charge_seg_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::seg_scan::<O, T>(b.as_ref(), a, segs) {
+                return out;
+            }
+        }
         segmented::seg_scan::<O, T>(a, segs)
     }
 
@@ -302,6 +393,17 @@ impl Ctx {
     ) -> Vec<T> {
         self.charge_seg_scan(a.len());
         self.charge_elementwise(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(excl) = route::seg_scan::<O, T>(b.as_ref(), a, segs) {
+                if excl.len() == a.len() {
+                    return excl
+                        .iter()
+                        .zip(a)
+                        .map(|(&e, &x)| O::combine(e, x))
+                        .collect();
+                }
+            }
+        }
         segmented::seg_inclusive_scan::<O, T>(a, segs)
     }
 
@@ -312,6 +414,11 @@ impl Ctx {
         segs: &Segments,
     ) -> Vec<T> {
         self.charge_seg_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::seg_scan_backward::<O, T>(b.as_ref(), a, segs) {
+                return out;
+            }
+        }
         segmented::seg_scan_backward::<O, T>(a, segs)
     }
 
@@ -325,6 +432,11 @@ impl Ctx {
     ) -> Vec<T> {
         self.charge_seg_scan(a.len());
         self.charge_elementwise(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::seg_distribute::<O, T>(b.as_ref(), a, segs) {
+                return out;
+            }
+        }
         segops::seg_distribute::<O, T>(a, segs)
     }
 
@@ -333,6 +445,11 @@ impl Ctx {
     /// segmented scan.
     pub fn seg_copy<T: ScanElem>(&mut self, a: &[T], segs: &Segments) -> Vec<T> {
         self.charge_seg_scan(a.len());
+        if let Some(b) = &self.backend {
+            if let Some(out) = route::seg_copy(b.as_ref(), a, segs) {
+                return out;
+            }
+        }
         segops::seg_copy(a, segs)
     }
 
@@ -342,6 +459,9 @@ impl Ctx {
     pub fn enumerate(&mut self, flags: &[bool]) -> Vec<usize> {
         self.charge_elementwise(flags.len());
         self.charge_scan(flags.len());
+        if let Some(b) = &self.backend {
+            return route::enumerate(b.as_ref(), flags);
+        }
         ops::enumerate(flags)
     }
 
@@ -349,6 +469,9 @@ impl Ctx {
     pub fn back_enumerate(&mut self, flags: &[bool]) -> Vec<usize> {
         self.charge_elementwise(flags.len());
         self.charge_scan(flags.len());
+        if let Some(b) = &self.backend {
+            return route::back_enumerate(b.as_ref(), flags);
+        }
         ops::back_enumerate(flags)
     }
 
@@ -356,6 +479,9 @@ impl Ctx {
     pub fn count(&mut self, flags: &[bool]) -> usize {
         self.charge_elementwise(flags.len());
         self.charge_scan(flags.len());
+        if let Some(b) = &self.backend {
+            return route::count(b.as_ref(), flags);
+        }
         ops::count(flags)
     }
 
@@ -454,6 +580,10 @@ impl Ctx {
         self.charge_elementwise(n); // I-up arithmetic
         self.charge_elementwise(n); // select of indices
         self.charge_permute(n);
+        assert_eq!(a.len(), flags.len(), "split length mismatch");
+        if let Some(b) = &self.backend {
+            return route::split_count(b.as_ref(), a, flags);
+        }
         ops::split_count(a, flags)
     }
 
@@ -468,6 +598,10 @@ impl Ctx {
             self.charge_elementwise(n);
         }
         self.charge_permute(n);
+        assert_eq!(a.len(), buckets.len(), "split3 length mismatch");
+        if let Some(b) = &self.backend {
+            return route::split3(b.as_ref(), a, buckets);
+        }
         ops::split3(a, buckets)
     }
 
@@ -512,6 +646,10 @@ impl Ctx {
         self.charge_scan(a.len());
         self.charge_elementwise(a.len());
         self.charge_permute(a.len());
+        assert_eq!(a.len(), keep.len(), "pack length mismatch");
+        if let Some(b) = &self.backend {
+            return route::pack(b.as_ref(), a, keep);
+        }
         ops::pack(a, keep)
     }
 
@@ -524,6 +662,14 @@ impl Ctx {
         self.charge_elementwise(n);
         self.charge_elementwise(n);
         self.charge_permute(n);
+        if let Some(be) = &self.backend {
+            // Only a *valid* merge is routable; invalid inputs keep the
+            // software kernel's panic contract.
+            let trues = flags.iter().filter(|&&f| f).count();
+            if n == a.len() + b.len() && trues == b.len() {
+                return route::flag_merge(be.as_ref(), flags, a, b);
+            }
+        }
         ops::flag_merge(flags, a, b)
     }
 
@@ -534,6 +680,9 @@ impl Ctx {
     pub fn allocate(&mut self, counts: &[usize]) -> Allocation {
         self.charge_scan(counts.len());
         self.charge_permute(counts.len());
+        if let Some(b) = &self.backend {
+            return route::allocate(b.as_ref(), counts);
+        }
         core_allocate(counts)
     }
 
@@ -545,6 +694,16 @@ impl Ctx {
         let total: usize = counts.iter().sum();
         self.charge_permute(total);
         self.charge_seg_scan(total);
+        assert_eq!(
+            values.len(),
+            counts.len(),
+            "distribute length mismatch: expected {}, got {}",
+            values.len(),
+            counts.len()
+        );
+        if let Some(b) = &self.backend {
+            return route::distribute(b.as_ref(), values, counts);
+        }
         scan_core::distribute(values, counts)
     }
 
@@ -683,5 +842,85 @@ mod tests {
         assert!(ctx.steps() > 0);
         ctx.reset_stats();
         assert_eq!(ctx.steps(), 0);
+    }
+
+    #[test]
+    fn backend_routing_matches_software_results() {
+        use scan_core::simulate::{PrimitiveScans, SoftwareScans};
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        /// SoftwareScans plus a call counter, to prove routing happened.
+        #[derive(Debug, Default)]
+        struct Counting {
+            calls: Cell<u64>,
+        }
+        impl PrimitiveScans for Counting {
+            fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+                self.calls.set(self.calls.get() + 1);
+                SoftwareScans.plus_scan(a)
+            }
+            fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+                self.calls.set(self.calls.get() + 1);
+                SoftwareScans.max_scan(a)
+            }
+        }
+
+        let backend = Rc::new(Counting::default());
+        let mut routed = Ctx::new(Model::Scan).with_backend(backend.clone());
+        let mut soft = Ctx::new(Model::Scan);
+        assert!(routed.has_backend() && !soft.has_backend());
+
+        let a: Vec<u64> = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let flags = [true, false, true, true, false, false, true, false];
+        let segs = Segments::from_lengths(&[3, 5]);
+        assert_eq!(routed.scan::<Sum, _>(&a), soft.scan::<Sum, _>(&a));
+        assert_eq!(
+            routed.inclusive_scan::<Max, _>(&a),
+            soft.inclusive_scan::<Max, _>(&a)
+        );
+        assert_eq!(
+            routed.scan_backward::<Min, _>(&a),
+            soft.scan_backward::<Min, _>(&a)
+        );
+        assert_eq!(routed.reduce::<Sum, _>(&a), soft.reduce::<Sum, _>(&a));
+        assert_eq!(
+            routed.seg_scan::<Sum, _>(&a, &segs),
+            soft.seg_scan::<Sum, _>(&a, &segs)
+        );
+        assert_eq!(
+            routed.seg_distribute::<Max, _>(&a, &segs),
+            soft.seg_distribute::<Max, _>(&a, &segs)
+        );
+        assert_eq!(routed.seg_copy(&a, &segs), soft.seg_copy(&a, &segs));
+        assert_eq!(routed.enumerate(&flags), soft.enumerate(&flags));
+        assert_eq!(routed.count(&flags), soft.count(&flags));
+        assert_eq!(routed.pack(&a, &flags), soft.pack(&a, &flags));
+        assert_eq!(
+            routed.split_count(&a, &flags),
+            soft.split_count(&a, &flags)
+        );
+        assert_eq!(routed.allocate(&[2, 0, 3]), soft.allocate(&[2, 0, 3]));
+        assert_eq!(
+            routed.distribute(&[7u64, 8, 9], &[2, 0, 3]),
+            soft.distribute(&[7u64, 8, 9], &[2, 0, 3])
+        );
+        // The charges are identical either way — routing does not change
+        // the cost model.
+        assert_eq!(routed.steps(), soft.steps());
+        // And the primitives really ran on the backend.
+        assert!(backend.calls.get() >= 20, "backend saw {}", backend.calls.get());
+    }
+
+    #[test]
+    fn backend_routing_falls_back_for_unroutable_ops() {
+        use scan_core::op::Prod;
+        use scan_core::simulate::SoftwareScans;
+        use std::rc::Rc;
+        let mut ctx = Ctx::new(Model::Scan).with_backend(Rc::new(SoftwareScans));
+        // No §3.4 construction for ×-scan or float +-scan: software path.
+        assert_eq!(ctx.scan::<Prod, _>(&[1u64, 2, 3, 4]), vec![1, 1, 2, 6]);
+        let f = [1.0f64, 2.0, 3.0];
+        assert_eq!(ctx.scan::<Sum, _>(&f), vec![0.0, 1.0, 3.0]);
     }
 }

@@ -27,10 +27,12 @@
 //! results and measured step complexities.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod ctx;
 pub mod longvec;
 pub mod model;
+mod route;
 pub mod stats;
 pub mod vm;
 
@@ -38,4 +40,4 @@ pub use ctx::Ctx;
 pub use longvec::BlockedVec;
 pub use model::Model;
 pub use stats::{Stats, StepKind};
-pub use vm::{Instr, Vm, VmError};
+pub use vm::{Instr, Vm, VmError, VmLimits};

@@ -119,9 +119,9 @@ impl<T: ScanElem> BlockedVec<T> {
         let mut out = vec![O::identity(); self.data.len()];
         for (p, &(s, e)) in self.block_ranges().iter().enumerate() {
             let mut acc = offsets[p];
-            for i in s..e {
-                out[i] = acc;
-                acc = O::combine(acc, self.data[i]);
+            for (o, v) in out[s..e].iter_mut().zip(&self.data[s..e]) {
+                *o = acc;
+                acc = O::combine(acc, *v);
             }
         }
         BlockedVec {

@@ -105,6 +105,22 @@ pub enum VmError {
     },
     /// A permute's index vector was not a permutation.
     BadPermutation,
+    /// The program charged more steps than its [`VmLimits`] budget.
+    StepBudgetExceeded {
+        /// The configured budget.
+        budget: u64,
+        /// Steps charged when the budget check fired.
+        used: u64,
+    },
+    /// The registers hold more words than the [`VmLimits`] cap allows.
+    MemoryBudgetExceeded {
+        /// The configured cap, in 64-bit words.
+        cap: usize,
+        /// Words held when the cap check fired.
+        used: usize,
+    },
+    /// A checked vector operation from `scan-core` failed.
+    Core(scan_core::Error),
 }
 
 impl core::fmt::Display for VmError {
@@ -113,17 +129,70 @@ impl core::fmt::Display for VmError {
             VmError::UndefinedRegister(r) => write!(f, "undefined register {r}"),
             VmError::LengthMismatch { a, b } => write!(f, "length mismatch: {a} vs {b}"),
             VmError::BadPermutation => write!(f, "index vector is not a permutation"),
+            VmError::StepBudgetExceeded { budget, used } => {
+                write!(f, "step budget exceeded: {used} steps charged, budget {budget}")
+            }
+            VmError::MemoryBudgetExceeded { cap, used } => {
+                write!(f, "register memory cap exceeded: {used} words held, cap {cap}")
+            }
+            VmError::Core(e) => write!(f, "vector operation failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for VmError {}
+impl std::error::Error for VmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            VmError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<scan_core::Error> for VmError {
+    fn from(e: scan_core::Error) -> Self {
+        VmError::Core(e)
+    }
+}
+
+/// Resource budgets enforced by [`Vm::run`] after every instruction.
+///
+/// `None` means unlimited (the default). A budget makes a runaway or
+/// adversarial program fail with a typed [`VmError`] instead of looping
+/// or exhausting memory.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmLimits {
+    /// Maximum program steps (as charged by the model) a run may use.
+    pub max_steps: Option<u64>,
+    /// Maximum total 64-bit words held across all registers.
+    pub max_register_words: Option<usize>,
+}
+
+impl VmLimits {
+    /// No limits (the default).
+    pub fn unlimited() -> Self {
+        VmLimits::default()
+    }
+
+    /// Cap the program-step budget.
+    pub fn with_max_steps(mut self, steps: u64) -> Self {
+        self.max_steps = Some(steps);
+        self
+    }
+
+    /// Cap the total register memory, in 64-bit words.
+    pub fn with_max_register_words(mut self, words: usize) -> Self {
+        self.max_register_words = Some(words);
+        self
+    }
+}
 
 /// The vector machine: named registers over a step-counting [`Ctx`].
 #[derive(Debug)]
 pub struct Vm {
     regs: HashMap<&'static str, Vec<u64>>,
     ctx: Ctx,
+    limits: VmLimits,
 }
 
 impl Vm {
@@ -132,6 +201,7 @@ impl Vm {
         Vm {
             regs: HashMap::new(),
             ctx: Ctx::new(model),
+            limits: VmLimits::default(),
         }
     }
 
@@ -141,7 +211,31 @@ impl Vm {
         Vm {
             regs: HashMap::new(),
             ctx,
+            limits: VmLimits::default(),
         }
+    }
+
+    /// A machine under `model` with resource budgets enforced by
+    /// [`Vm::run`].
+    pub fn with_limits(model: Model, limits: VmLimits) -> Self {
+        let mut vm = Vm::new(model);
+        vm.limits = limits;
+        vm
+    }
+
+    /// Replace the resource budgets.
+    pub fn set_limits(&mut self, limits: VmLimits) {
+        self.limits = limits;
+    }
+
+    /// The active resource budgets.
+    pub fn limits(&self) -> VmLimits {
+        self.limits
+    }
+
+    /// Total 64-bit words currently held across all registers.
+    pub fn register_words(&self) -> usize {
+        self.regs.values().map(Vec::len).sum()
     }
 
     /// Write a register directly.
@@ -268,10 +362,8 @@ impl Vm {
                 let s = self.reg(src)?.clone();
                 let ix = self.reg(idx)?.clone();
                 let indices: Vec<usize> = ix.iter().map(|&x| x as usize).collect();
-                if indices.iter().any(|&i| i >= s.len()) {
-                    return Err(VmError::BadPermutation);
-                }
-                let out = self.ctx.gather(&s, &indices);
+                let out = scan_core::ops::try_gather(&s, &indices)?;
+                self.ctx.charge_permute_op(indices.len());
                 self.regs.insert(dst, out);
             }
             Pack { dst, src, flags } => {
@@ -311,10 +403,28 @@ impl Vm {
         Ok(())
     }
 
-    /// Execute a straight-line program.
+    /// Execute a straight-line program, enforcing the machine's
+    /// [`VmLimits`] after every instruction.
     pub fn run(&mut self, program: &[Instr]) -> Result<(), VmError> {
         for &i in program {
             self.step(i)?;
+            self.check_budgets()?;
+        }
+        Ok(())
+    }
+
+    fn check_budgets(&self) -> Result<(), VmError> {
+        if let Some(budget) = self.limits.max_steps {
+            let used = self.ctx.steps();
+            if used > budget {
+                return Err(VmError::StepBudgetExceeded { budget, used });
+            }
+        }
+        if let Some(cap) = self.limits.max_register_words {
+            let used = self.register_words();
+            if used > cap {
+                return Err(VmError::MemoryBudgetExceeded { cap, used });
+            }
         }
         Ok(())
     }
@@ -448,6 +558,83 @@ mod tests {
             vm.step(Instr::Permute { dst: "p", src: "two", idx: "idx" }),
             Err(VmError::BadPermutation)
         );
+    }
+
+    #[test]
+    fn gather_out_of_bounds_is_a_typed_core_error() {
+        let mut vm = Vm::new(Model::Scan);
+        vm.load("a", vec![1, 2, 3]);
+        vm.load("idx", vec![0, 9, 1]);
+        let err = vm
+            .step(Instr::Gather { dst: "g", src: "a", idx: "idx" })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VmError::Core(scan_core::Error::IndexOutOfBounds { index: 9, len: 3 })
+        );
+        // The conversion also works via `?` / `From` directly.
+        let via_from: VmError = scan_core::Error::DuplicateIndex { index: 2 }.into();
+        assert!(matches!(via_from, VmError::Core(_)));
+        // And the source chain reaches the core error.
+        use std::error::Error as _;
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn step_budget_stops_runaway_programs() {
+        let mut vm = Vm::with_limits(Model::Scan, VmLimits::unlimited().with_max_steps(5));
+        vm.load("a", (0..64u64).collect());
+        // Each scan charges steps; once the cumulative charge passes the
+        // budget the run stops with the typed error instead of running
+        // the rest of the program.
+        let err = vm
+            .run(&[
+                Instr::PlusScan { dst: "s", src: "a" },
+                Instr::PlusScan { dst: "t", src: "s" },
+                Instr::PlusScan { dst: "u", src: "t" },
+            ])
+            .unwrap_err();
+        match err {
+            VmError::StepBudgetExceeded { budget, used } => {
+                assert_eq!(budget, 5);
+                assert!(used > 5);
+            }
+            other => panic!("expected StepBudgetExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_cap_stops_register_growth() {
+        let mut vm = Vm::with_limits(
+            Model::Scan,
+            VmLimits::unlimited().with_max_register_words(5),
+        );
+        vm.load("a", vec![1, 2, 3]);
+        let err = vm
+            .run(&[Instr::PlusScan { dst: "s", src: "a" }])
+            .unwrap_err();
+        assert_eq!(err, VmError::MemoryBudgetExceeded { cap: 5, used: 6 });
+        assert_eq!(vm.register_words(), 6);
+    }
+
+    #[test]
+    fn budgets_default_to_unlimited_and_display() {
+        let mut vm = Vm::new(Model::Scan);
+        assert_eq!(vm.limits(), VmLimits::default());
+        vm.load("a", (0..128u64).collect());
+        vm.run(&[Instr::PlusScan { dst: "s", src: "a" }]).unwrap();
+        let e = VmError::StepBudgetExceeded { budget: 4, used: 9 };
+        assert_eq!(
+            e.to_string(),
+            "step budget exceeded: 9 steps charged, budget 4"
+        );
+        let e = VmError::MemoryBudgetExceeded { cap: 2, used: 3 };
+        assert_eq!(
+            e.to_string(),
+            "register memory cap exceeded: 3 words held, cap 2"
+        );
+        let e = VmError::Core(scan_core::Error::DuplicateIndex { index: 1 });
+        assert!(e.to_string().contains("duplicate permute destination"));
     }
 
     #[test]

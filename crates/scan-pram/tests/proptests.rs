@@ -48,7 +48,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let flags: Vec<bool> = (0..data.len())
-            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)) % 3 == 0)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e3779b97f4a7c15)).is_multiple_of(3))
             .collect();
         let mut results = Vec::new();
         for model in Model::ALL {
