@@ -1,0 +1,249 @@
+//! Old-versus-new execution engine benchmark.
+//!
+//! Times the headline kernels under the seed engine's schedule
+//! (fresh `thread::scope` spawns per call, unfused kernels with
+//! materialized intermediate vectors) against the current engine
+//! (persistent worker pool, fused map→scan kernels), across sizes
+//! `2^14 .. 2^24`, and writes the medians to `BENCH_engine.json` at
+//! the repository root.
+//!
+//! Every timed pair is also checked for equality — the two engines
+//! must agree bit-for-bit on these integer kernels, so a reported
+//! speedup can never hide a wrong answer.
+//!
+//! Usage:
+//!   cargo run --release -p scan-bench --bin bench_engine
+//!   cargo run --release -p scan-bench --bin bench_engine -- --smoke
+//!   cargo run --release -p scan-bench --bin bench_engine -- --out path.json
+
+use scan_algorithms::sort::radix::split_radix_sort;
+use scan_bench::random_keys;
+use scan_core::ops::{enumerate, pack};
+use scan_core::parallel::{self, Schedule};
+use scan_core::segmented::{seg_scan, Segments};
+use scan_core::{scan, Max, Sum};
+use std::time::Instant;
+
+/// One kernel measurement: median ns per call for both engines.
+struct Row {
+    kernel: &'static str,
+    n: usize,
+    old_ns: u128,
+    new_ns: u128,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        self.old_ns as f64 / self.new_ns.max(1) as f64
+    }
+}
+
+/// Median of `k` timed runs of `f` (ns), after `warmup` untimed runs.
+fn time_median<R>(warmup: usize, k: usize, mut f: impl FnMut() -> R) -> u128 {
+    for _ in 0..warmup {
+        std::hint::black_box(f());
+    }
+    let mut samples: Vec<u128> = (0..k)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            t.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// Repetitions scaled down with input size so each cell costs roughly
+/// the same wall clock.
+fn reps(n: usize) -> usize {
+    ((1usize << 26) / n.max(1)).clamp(3, 25)
+}
+
+/// Run `f` with the process-wide default schedule set to `sched`.
+fn under<R>(sched: Schedule, f: impl FnOnce() -> R) -> R {
+    parallel::set_default_schedule(sched);
+    let r = f();
+    parallel::set_default_schedule(Schedule::Pooled);
+    r
+}
+
+/// Seed-style unfused exclusive seg scan: materialize the (value, flag)
+/// pair vector, inclusive-scan it, then a separate shift pass.
+fn old_seg_plus_scan(a: &[u64], segs: &Segments) -> Vec<u64> {
+    let pairs: Vec<(u64, bool)> = (0..a.len()).map(|i| (a[i], segs.is_head(i))).collect();
+    let inc = parallel::inclusive_scan_by_sched(
+        Schedule::Spawn,
+        &pairs,
+        (0u64, false),
+        |(v1, f1), (v2, f2)| {
+            if f2 {
+                (v2, true)
+            } else {
+                (v1.wrapping_add(v2), f1)
+            }
+        },
+    );
+    (0..a.len())
+        .map(|i| if segs.is_head(i) { 0 } else { inc[i - 1].0 })
+        .collect()
+}
+
+/// Seed-style unfused pack: 0/1 vector, scan, reduce, scatter.
+fn old_pack(a: &[u64], keep: &[bool]) -> Vec<u64> {
+    let ones: Vec<usize> = parallel::map_by_sched(Schedule::Spawn, keep, usize::from);
+    let dest = parallel::exclusive_scan_by_sched(Schedule::Spawn, &ones, 0, |x, y| x + y);
+    let total = parallel::reduce_by_sched(Schedule::Spawn, &ones, 0, |x, y| x + y);
+    let mut out = vec![0u64; total];
+    for i in 0..a.len() {
+        if keep[i] {
+            out[dest[i]] = a[i];
+        }
+    }
+    out
+}
+
+fn bench_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![1 << 10, (1 << 14) + 1]
+    } else {
+        vec![1 << 14, 1 << 16, 1 << 18, 1 << 20, 1 << 22, 1 << 24]
+    }
+}
+
+fn sort_sizes(smoke: bool) -> Vec<usize> {
+    if smoke {
+        vec![1 << 10]
+    } else {
+        vec![1 << 14, 1 << 16, 1 << 18, 1 << 20]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| {
+            format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"))
+        });
+
+    let threads = scan_core::pool::global().threads();
+    println!("engine bench: pool width {threads}, smoke={smoke}");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let (w, k_override) = if smoke { (0, Some(1)) } else { (2, None) };
+
+    for n in bench_sizes(smoke) {
+        let k = k_override.unwrap_or_else(|| reps(n));
+        let a = random_keys(n, 32, 0xBE7C4);
+        let flags: Vec<bool> = a.iter().map(|&x| x % 64 == 0).collect();
+        let segs = Segments::from_flags(flags.clone());
+
+        // +-scan: identical kernel, old schedule vs pooled schedule.
+        let old = time_median(w, k, || {
+            parallel::exclusive_scan_by_sched(Schedule::Spawn, &a, 0u64, u64::wrapping_add)
+        });
+        let new = time_median(w, k, || scan::<Sum, _>(&a));
+        assert_eq!(
+            parallel::exclusive_scan_by_sched(Schedule::Spawn, &a, 0u64, u64::wrapping_add),
+            scan::<Sum, _>(&a),
+            "+-scan engines disagree at n={n}"
+        );
+        rows.push(Row { kernel: "+-scan", n, old_ns: old, new_ns: new });
+
+        // max-scan.
+        let old = time_median(w, k, || {
+            parallel::exclusive_scan_by_sched(Schedule::Spawn, &a, 0u64, u64::max)
+        });
+        let new = time_median(w, k, || scan::<Max, _>(&a));
+        rows.push(Row { kernel: "max-scan", n, old_ns: old, new_ns: new });
+
+        // Segmented +-scan: unfused pair materialization + shift pass
+        // vs the fused load/emit kernel.
+        let old = time_median(w, k, || old_seg_plus_scan(&a, &segs));
+        let new = time_median(w, k, || seg_scan::<Sum, _>(&a, &segs));
+        assert_eq!(
+            old_seg_plus_scan(&a, &segs),
+            seg_scan::<Sum, _>(&a, &segs),
+            "seg-scan engines disagree at n={n}"
+        );
+        rows.push(Row { kernel: "seg-+-scan", n, old_ns: old, new_ns: new });
+
+        // enumerate: 0/1 vector + scan vs fused map→scan.
+        let old = time_median(w, k, || {
+            let ones: Vec<usize> = parallel::map_by_sched(Schedule::Spawn, &flags, usize::from);
+            parallel::exclusive_scan_by_sched(Schedule::Spawn, &ones, 0, |x, y| x + y)
+        });
+        let new = time_median(w, k, || enumerate(&flags));
+        assert_eq!(
+            {
+                let ones: Vec<usize> =
+                    parallel::map_by_sched(Schedule::Spawn, &flags, usize::from);
+                parallel::exclusive_scan_by_sched(Schedule::Spawn, &ones, 0, |x, y| x + y)
+            },
+            enumerate(&flags),
+            "enumerate engines disagree at n={n}"
+        );
+        rows.push(Row { kernel: "enumerate", n, old_ns: old, new_ns: new });
+
+        // pack: unfused scan+reduce vs fused scan-with-total.
+        let old = time_median(w, k, || old_pack(&a, &flags));
+        let new = time_median(w, k, || pack(&a, &flags));
+        assert_eq!(old_pack(&a, &flags), pack(&a, &flags), "pack engines disagree at n={n}");
+        rows.push(Row { kernel: "pack", n, old_ns: old, new_ns: new });
+    }
+
+    // A whole algorithm built from the primitives: split radix sort on
+    // 16-bit keys, old schedule vs pooled schedule end to end.
+    for n in sort_sizes(smoke) {
+        let k = k_override.unwrap_or_else(|| reps(n * 8));
+        let keys = random_keys(n, 16, 0x5027);
+        let old = time_median(w, k, || under(Schedule::Spawn, || split_radix_sort(&keys, 16)));
+        let new = time_median(w, k, || split_radix_sort(&keys, 16));
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(split_radix_sort(&keys, 16), expect, "radix sort wrong at n={n}");
+        rows.push(Row { kernel: "split_radix_sort", n, old_ns: old, new_ns: new });
+    }
+
+    println!(
+        "{:>18} {:>10} {:>14} {:>14} {:>9}",
+        "kernel", "n", "old ns", "new ns", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>18} {:>10} {:>14} {:>14} {:>8.2}x",
+            r.kernel,
+            r.n,
+            r.old_ns,
+            r.new_ns,
+            r.speedup()
+        );
+    }
+
+    if smoke {
+        println!("smoke mode: correctness verified, no JSON written");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"old_ns\": {}, \"new_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            r.kernel,
+            r.n,
+            r.old_ns,
+            r.new_ns,
+            r.speedup(),
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

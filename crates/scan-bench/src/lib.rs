@@ -11,9 +11,12 @@
 pub struct Rng(u64);
 
 impl Rng {
-    /// Seeded generator.
+    /// Seeded generator. Splitmix64 accepts any 64-bit seed (including
+    /// 0), so all bits of `seed` select a distinct stream — an earlier
+    /// revision forced the low bit on, silently aliasing seed `2k` with
+    /// `2k+1`.
     pub fn new(seed: u64) -> Self {
-        Rng(seed | 1)
+        Rng(seed)
     }
 
     /// Next raw 64-bit value.
@@ -28,9 +31,23 @@ impl Rng {
         z ^ (z >> 31)
     }
 
-    /// Uniform value below `bound`.
+    /// Uniform value below `bound`, without modulo bias.
+    ///
+    /// Lemire's multiply-shift method with a rejection loop: accept the
+    /// high word of `x * bound` unless the low word falls in the
+    /// aliased region `[0, 2^64 mod bound)`, in which case redraw.
+    /// The expected number of redraws is below one for every `bound`.
     pub fn below(&mut self, bound: u64) -> u64 {
-        self.next() % bound.max(1)
+        let bound = bound.max(1);
+        // 2^64 mod bound, computed without u128 division by 2^64.
+        let threshold = bound.wrapping_neg() % bound;
+        loop {
+            let x = self.next();
+            let wide = u128::from(x) * u128::from(bound);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
     }
 }
 
@@ -46,8 +63,8 @@ pub fn random_graph(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, u64)> {
     let mut rng = Rng::new(seed);
     (0..m)
         .filter_map(|_| {
-            let u = (rng.next() as usize) % n;
-            let v = (rng.next() as usize) % n;
+            let u = rng.below(n as u64) as usize;
+            let v = rng.below(n as u64) as usize;
             (u != v).then(|| (u, v, rng.below(1 << 20)))
         })
         .collect()
@@ -58,7 +75,7 @@ pub fn connected_graph(n: usize, extra: usize, seed: u64) -> Vec<(usize, usize, 
     let mut rng = Rng::new(seed);
     let mut perm: Vec<usize> = (0..n).collect();
     for i in (1..n).rev() {
-        let j = (rng.next() as usize) % (i + 1);
+        let j = rng.below(i as u64 + 1) as usize;
         perm.swap(i, j);
     }
     let mut edges: Vec<(usize, usize, u64)> = perm
@@ -116,6 +133,38 @@ mod tests {
         for _ in 0..10 {
             assert_eq!(a.next(), b.next());
         }
+    }
+
+    #[test]
+    fn adjacent_seeds_give_distinct_streams() {
+        // The old constructor OR'd the low seed bit on, aliasing 2 and 3.
+        let mut a = Rng::new(2);
+        let mut b = Rng::new(3);
+        assert_ne!(
+            (0..4).map(|_| a.next()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn below_is_in_range_and_roughly_uniform() {
+        let mut rng = Rng::new(42);
+        for bound in [1u64, 2, 3, 7, 1000, u64::MAX / 2 + 1] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+        // bound=3 splits 2^64 unevenly for a modulo reduction; the
+        // rejection sampler must keep all three residues near 1/3.
+        let mut counts = [0u64; 3];
+        for _ in 0..30_000 {
+            counts[rng.below(3) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed counts: {counts:?}");
+        }
+        // Degenerate bound: stay total rather than divide by zero.
+        assert_eq!(rng.below(0), 0);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 //!   inclusive ([`mod@scan`], [`ops`]);
 //! - segmented versions of all scans, which restart at segment boundaries
 //!   ([`segmented`], paper §2.3);
-//! - parallel execution kernels (blocked two-pass over scoped threads,
-//!   [`parallel`]), falling back to sequential code below a threshold;
+//! - parallel execution kernels (blocked two-pass over a persistent
+//!   worker pool, [`parallel`] + [`pool`]), falling back to sequential
+//!   code below a threshold; set `SCAN_CORE_THREADS` to pin the width;
 //! - the derived "simple operations" of §2.2 — `enumerate`, `copy`,
 //!   `+-distribute`, `permute`, `split`, `pack` ([`ops`]) — and their
 //!   segmented counterparts ([`segops`], §2.3);
@@ -49,6 +50,7 @@ pub mod error;
 pub mod op;
 pub mod ops;
 pub mod parallel;
+pub mod pool;
 pub mod scan;
 pub mod segmented;
 pub mod segops;

@@ -5,15 +5,16 @@
 
 use crate::element::ScanElem;
 use crate::error::{Error, Result};
-use crate::op::{ScanOp, Sum};
+use crate::op::ScanOp;
 use crate::parallel;
-use crate::scan::{reduce, scan, scan_backward, scan_with_total};
+use crate::scan::reduce;
 
 /// `enumerate` (Figure 1): the `i`-th *true* element receives the count
 /// of true elements strictly before it.
 ///
-/// Implemented, as in the paper, by converting the flags to 0/1 and
-/// executing a `+-scan`.
+/// Implemented, as in the paper, as a `+-scan` of the 0/1 rendering of
+/// the flags — but fused: the flags are converted inside the scan's
+/// load step, so the intermediate 0/1 vector is never materialized.
 ///
 /// ```
 /// use scan_core::ops::enumerate;
@@ -22,21 +23,19 @@ use crate::scan::{reduce, scan, scan_backward, scan_with_total};
 /// assert_eq!(enumerate(&f), vec![0, 1, 1, 1, 2, 2, 3, 4]);
 /// ```
 pub fn enumerate(flags: &[bool]) -> Vec<usize> {
-    let ones = parallel::map_by(flags, usize::from);
-    scan::<Sum, _>(&ones)
+    parallel::scan_map_by(flags, usize::from, 0, |a, b| a + b)
 }
 
 /// Backward `enumerate`: the `i`-th true element receives the count of
 /// true elements strictly *after* it (used by `split`, Figure 3).
+/// Fused like [`enumerate`]; the blocks are walked right-to-left.
 pub fn back_enumerate(flags: &[bool]) -> Vec<usize> {
-    let ones = parallel::map_by(flags, usize::from);
-    scan_backward::<Sum, _>(&ones)
+    parallel::scan_map_backward_by(flags, usize::from, 0, |a, b| a + b)
 }
 
-/// Number of true flags.
+/// Number of true flags (a fused map→reduce).
 pub fn count(flags: &[bool]) -> usize {
-    let ones = parallel::map_by(flags, usize::from);
-    reduce::<Sum, _>(&ones)
+    parallel::reduce_map_by(flags, usize::from, 0, |a, b| a + b)
 }
 
 /// `copy` (Figure 1): copy the first element over all elements.
@@ -164,7 +163,7 @@ pub fn permute_unchecked<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
 /// # Panics
 /// If an index is out of range. See [`try_gather`] for the checked form.
 pub fn gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
-    indices.iter().map(|&ix| a[ix]).collect()
+    parallel::tabulate_by(indices.len(), |i| a[indices[i]])
 }
 
 /// Checked [`gather`]: `Err(Error::IndexOutOfBounds)` on a bad index
@@ -224,16 +223,19 @@ pub fn split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> (Vec<T>, usize) {
     if n == 0 {
         return (Vec::new(), 0);
     }
-    let not_flags = parallel::map_by(flags, |f| !f);
-    let (i_down, n_false) = {
-        let ones = parallel::map_by(&not_flags, usize::from);
-        scan_with_total::<Sum, _>(&ones)
-    };
+    // Fused: the negated 0/1 flags are loaded inside the scans, so
+    // neither `not_flags` nor a ones vector is materialized.
+    let (i_down, n_false) =
+        parallel::scan_map_with_total_by(flags, |f| usize::from(!f), 0, |a, b| a + b);
     let i_up = back_enumerate(flags);
     // Figure 3: I-up = n - back-enumerate(Flags) - 1
-    let index: Vec<usize> = (0..n)
-        .map(|i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] })
-        .collect();
+    let index = parallel::tabulate_by(n, |i| {
+        if flags[i] {
+            n - i_up[i] - 1
+        } else {
+            i_down[i]
+        }
+    });
     (permute_unchecked(a, &index), n_false)
 }
 
@@ -241,13 +243,15 @@ pub fn split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> (Vec<T>, usize) {
 /// data. Useful when several vectors must be split by the same flags.
 pub fn split_index(flags: &[bool]) -> Vec<usize> {
     let n = flags.len();
-    let not_flags = parallel::map_by(flags, |f| !f);
-    let ones = parallel::map_by(&not_flags, usize::from);
-    let i_down = scan::<Sum, _>(&ones);
+    let i_down = parallel::scan_map_by(flags, |f| usize::from(!f), 0, |a, b| a + b);
     let i_up = back_enumerate(flags);
-    (0..n)
-        .map(|i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] })
-        .collect()
+    parallel::tabulate_by(n, |i| {
+        if flags[i] {
+            n - i_up[i] - 1
+        } else {
+            i_down[i]
+        }
+    })
 }
 
 /// Three-way split keys for [`split3`].
@@ -289,21 +293,17 @@ pub fn split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> (Vec<T>, usize, usize
 
 /// Destination index of each element under [`split3`].
 pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
-    let lo: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Lo)).collect();
-    let mid: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Mid)).collect();
-    let (lo_scan, n_lo) = scan_with_total::<Sum, _>(&lo);
-    let (mid_scan, n_mid) = scan_with_total::<Sum, _>(&mid);
-    let hi: Vec<usize> = buckets.iter().map(|&b| usize::from(b == Bucket::Hi)).collect();
-    let hi_scan = scan::<Sum, _>(&hi);
-    buckets
-        .iter()
-        .enumerate()
-        .map(|(i, &b)| match b {
-            Bucket::Lo => lo_scan[i],
-            Bucket::Mid => n_lo + mid_scan[i],
-            Bucket::Hi => n_lo + n_mid + hi_scan[i],
-        })
-        .collect()
+    let count_of = |want: Bucket| {
+        parallel::scan_map_with_total_by(buckets, |b| usize::from(b == want), 0, |a, b| a + b)
+    };
+    let (lo_scan, n_lo) = count_of(Bucket::Lo);
+    let (mid_scan, n_mid) = count_of(Bucket::Mid);
+    let (hi_scan, _) = count_of(Bucket::Hi);
+    parallel::tabulate_by(buckets.len(), |i| match buckets[i] {
+        Bucket::Lo => lo_scan[i],
+        Bucket::Mid => n_lo + mid_scan[i],
+        Bucket::Hi => n_lo + n_mid + hi_scan[i],
+    })
 }
 
 /// The `pack` operation (§2.5, Figure 11): keep only the elements whose
@@ -316,10 +316,9 @@ pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
 /// If lengths differ. See [`try_pack`] for the checked form.
 pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
     assert_eq!(a.len(), keep.len(), "pack length mismatch");
-    let (dest, total) = {
-        let ones = parallel::map_by(keep, usize::from);
-        scan_with_total::<Sum, _>(&ones)
-    };
+    // Fused enumerate-with-total: one pass, no 0/1 vector.
+    let (dest, total) =
+        parallel::scan_map_with_total_by(keep, usize::from, 0, |a, b| a + b);
     let mut out: Vec<T> = Vec::with_capacity(total);
     // Safety: `enumerate` assigns the kept elements the distinct indices
     // 0..total in order, so every slot is written exactly once.
@@ -389,13 +388,15 @@ pub fn try_flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<V
             actual: n_true,
         });
     }
-    let a_pos = enumerate(&parallel::map_by(flags, |f| !f));
+    let a_pos = parallel::scan_map_by(flags, |f| usize::from(!f), 0, |x, y| x + y);
     let b_pos = enumerate(flags);
-    Ok(flags
-        .iter()
-        .enumerate()
-        .map(|(i, &f)| if f { b[b_pos[i]] } else { a[a_pos[i]] })
-        .collect())
+    Ok(parallel::tabulate_by(flags.len(), |i| {
+        if flags[i] {
+            b[b_pos[i]]
+        } else {
+            a[a_pos[i]]
+        }
+    }))
 }
 
 /// Elementwise select: `if flags[i] { t[i] } else { e[i] }` (the paper's
@@ -430,7 +431,7 @@ pub fn try_select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Result<Vec<T
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::op::Max;
+    use crate::op::{Max, Sum};
 
     #[test]
     fn figure1_enumerate() {

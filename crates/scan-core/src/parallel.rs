@@ -1,32 +1,87 @@
-//! The execution engine: blocked two-pass parallel scans over scoped
-//! OS threads.
+//! The execution engine: blocked two-pass parallel scans over a
+//! persistent worker pool, with fused map/scan/reduce kernels.
 //!
-//! Every scan in this crate funnels through [`exclusive_scan_by`] /
-//! [`inclusive_scan_by`], which take the operator as a closure so that
-//! composite operators (e.g. the segmented-scan pair operator, see
-//! [`crate::segmented`]) reuse the same engine.
+//! Every scan in this crate funnels through one generic blocked engine.
+//! The engine reads its input through a *load* closure and writes its
+//! output through an *emit* closure, which is what lets the derived
+//! operations fuse away their intermediate vectors: `enumerate` loads
+//! `usize::from(flag[i])` instead of materializing a 0/1 vector,
+//! segmented scans load `(value, flag)` pairs on the fly, and backward
+//! scans walk the blocks right-to-left instead of allocating a reversed
+//! copy of the input.
 //!
 //! The parallel algorithm is the classic work-efficient two-pass scheme,
-//! which is the flat rendering of the tree algorithm of the paper's §3.1:
+//! the flat rendering of the tree algorithm of the paper's §3.1:
 //!
-//! 1. **Up sweep** — split the input into `B` contiguous blocks; each
-//!    worker reduces its block (`B` partial sums).
-//! 2. Exclusive scan of the `B` block sums (tiny, sequential).
+//! 1. **Up sweep** — split the input into `B` balanced contiguous
+//!    blocks; each worker reduces its block (`B` partial sums).
+//! 2. Exclusive scan of the `B` block sums (tiny, sequential). The
+//!    final accumulator of this step is the total reduction, which
+//!    [`scan_with_total_by`] returns without any extra pass.
 //! 3. **Down sweep** — each worker re-scans its block locally, seeded
-//!    with its block's offset from step 2.
+//!    with its block's offset from step 2, writing directly into the
+//!    (uninitialized) output buffer.
 //!
 //! Total work is `2n` combines — twice sequential, like the paper's tree
 //! circuit — and span is `O(n/p + p)`. Below [`PAR_THRESHOLD`] elements
 //! the sequential loop wins and is used directly.
 //!
-//! Workers are `std::thread::scope` threads spawned per call (one per
-//! block, a small constant multiple of the core count), which keeps the
-//! crate dependency-free; the spawn cost is amortized by the
-//! [`PAR_THRESHOLD`] floor on parallel input sizes.
+//! Work is executed by the lazily-initialized global worker pool
+//! ([`crate::pool`]); a pool of width 1 (e.g. `SCAN_CORE_THREADS=1`)
+//! falls back to the sequential kernels. The seed engine's per-call
+//! `thread::scope` spawning survives as [`Schedule::Spawn`], a reference
+//! schedule used to differential-test and benchmark the pool against.
+//! Both schedules use the same block plan, so for a given pool width
+//! they reassociate the operator identically and produce bit-identical
+//! results even for non-associative operators like float addition.
 
-/// Inputs shorter than this are scanned sequentially; the fork/join and
-/// extra pass overhead does not pay for itself below roughly this size.
+use crate::pool;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Inputs shorter than this are scanned sequentially; the extra pass
+/// and cross-thread handoff do not pay for themselves below roughly
+/// this size.
 pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Smallest block worth handing to a worker (amortizes the handoff and
+/// the second pass).
+const MIN_BLOCK: usize = PAR_THRESHOLD / 4;
+
+/// How the blocked engine executes its blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Schedule {
+    /// The persistent global worker pool (the default).
+    Pooled,
+    /// Fresh scoped OS threads per call — the seed engine's schedule,
+    /// kept as a reference for differential tests and benchmarks.
+    Spawn,
+    /// Force the sequential kernels regardless of input size.
+    Sequential,
+}
+
+static DEFAULT_SCHEDULE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the schedule used by every entry point that does not take an
+/// explicit one (process-wide). Intended for benchmarks and tests that
+/// compare engines; library code should leave this at
+/// [`Schedule::Pooled`].
+pub fn set_default_schedule(s: Schedule) {
+    let v = match s {
+        Schedule::Pooled => 0,
+        Schedule::Spawn => 1,
+        Schedule::Sequential => 2,
+    };
+    DEFAULT_SCHEDULE.store(v, Ordering::Relaxed);
+}
+
+/// The schedule currently used by the implicit-schedule entry points.
+pub fn default_schedule() -> Schedule {
+    match DEFAULT_SCHEDULE.load(Ordering::Relaxed) {
+        1 => Schedule::Spawn,
+        2 => Schedule::Sequential,
+        _ => Schedule::Pooled,
+    }
+}
 
 /// Sequential exclusive scan with an explicit operator. Reference
 /// implementation for the whole crate: everything else must agree with it.
@@ -72,37 +127,339 @@ where
     acc
 }
 
-fn workers() -> usize {
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+/// Traversal direction + exclusive/inclusive flavor of a scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// The paper's scan: forward, element `i` excluded from its output.
+    ExclusiveFwd,
+    /// Forward, element `i` included.
+    InclusiveFwd,
+    /// Right-to-left, element `i` excluded.
+    ExclusiveBwd,
+    /// Right-to-left, element `i` included.
+    InclusiveBwd,
 }
 
-fn block_size(n: usize) -> usize {
-    // Aim for ~4 blocks per worker so the tail imbalance stays small,
-    // but keep blocks large enough to amortize the second pass (and the
-    // per-block thread spawn).
-    (n / (4 * workers().max(1))).max(PAR_THRESHOLD / 4).max(1)
+impl Mode {
+    fn backward(self) -> bool {
+        matches!(self, Mode::ExclusiveBwd | Mode::InclusiveBwd)
+    }
+
+    fn inclusive(self) -> bool {
+        matches!(self, Mode::InclusiveFwd | Mode::InclusiveBwd)
+    }
 }
 
-/// Join a scoped worker, propagating any payload panic unchanged.
-fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
-    h.join()
-        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+/// Raw output pointer that may cross thread boundaries.
+///
+/// Safety: every engine task writes a disjoint index range, and the
+/// engine joins all tasks (pool completion or scope join, both of which
+/// establish happens-before) before reading the buffer.
+struct SendPtr<T>(*mut T);
+
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `SendPtr` — edition-2021 disjoint capture would otherwise grab the
+    /// raw `*mut T` field, which is not `Sync`.
+    fn get(self) -> *mut T {
+        self.0
+    }
 }
 
-/// Up sweep shared by the scans and the reduction: one partial
-/// reduction per block, computed on scoped threads.
-fn block_partials<T, F>(a: &[T], bs: usize, identity: T, f: &F) -> Vec<T>
+/// Execute `task(0..nblocks)` under the given schedule. Panics in tasks
+/// propagate to the caller under every schedule.
+fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, task: F) {
+    match sched {
+        Schedule::Pooled => pool::global().run(nblocks, task),
+        Schedule::Spawn => {
+            std::thread::scope(|s| {
+                for b in 0..nblocks {
+                    let task = &task;
+                    s.spawn(move || task(b));
+                }
+            });
+        }
+        Schedule::Sequential => {
+            for b in 0..nblocks {
+                task(b);
+            }
+        }
+    }
+}
+
+/// Number of execution lanes the schedule will use. Both parallel
+/// schedules plan against the pool width so their block decomposition
+/// (and hence operator reassociation) is identical.
+fn engine_width(sched: Schedule) -> usize {
+    match sched {
+        Schedule::Sequential => 1,
+        Schedule::Spawn | Schedule::Pooled => pool::global().threads(),
+    }
+}
+
+/// Should `n` elements run on the blocked parallel path?
+fn go_parallel(sched: Schedule, n: usize) -> bool {
+    n >= PAR_THRESHOLD
+        && match sched {
+            Schedule::Sequential => false,
+            // Spawning works regardless of pool width (the seed engine
+            // spawned threads even on one core); the pool degrades to
+            // sequential when it has a single lane.
+            Schedule::Spawn => true,
+            Schedule::Pooled => pool::global().threads() > 1,
+        }
+}
+
+/// Number of balanced blocks for an `n`-element input on `workers`
+/// lanes: at most 4 blocks per worker, each at least [`MIN_BLOCK`]
+/// elements, and — when there are more blocks than workers — a multiple
+/// of the worker count so no worker is left holding a lone tail block.
+pub(crate) fn plan_blocks(n: usize, workers: usize) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let workers = workers.max(1);
+    let mut b = (n / MIN_BLOCK).clamp(1, 4 * workers);
+    if b > workers {
+        b -= b % workers;
+    }
+    b
+}
+
+/// Half-open index range of block `b` of `nblocks` over `n` elements.
+/// Blocks partition `0..n` and differ in length by at most one.
+pub(crate) fn block_range(n: usize, nblocks: usize, b: usize) -> core::ops::Range<usize> {
+    let base = n / nblocks;
+    let rem = n % nblocks;
+    let start = b * base + b.min(rem);
+    start..start + base + usize::from(b < rem)
+}
+
+/// Sequential fused scan: one pass, any direction, emit-projected.
+fn seq_engine<S, U, L, F, E>(n: usize, load: &L, identity: S, f: &F, emit: &E, mode: Mode) -> (Vec<U>, S)
 where
-    T: Copy + Send + Sync,
-    F: Fn(T, T) -> T + Sync,
+    S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+    E: Fn(usize, S) -> U,
 {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = a
-            .chunks(bs)
-            .map(|c| s.spawn(move || seq_reduce_by(c, identity, f)))
-            .collect();
-        handles.into_iter().map(join).collect()
-    })
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let mut acc = identity;
+    if mode.backward() {
+        {
+            let spare = out.spare_capacity_mut();
+            for i in (0..n).rev() {
+                let x = load(i);
+                if mode.inclusive() {
+                    acc = f(acc, x);
+                    spare[i].write(emit(i, acc));
+                } else {
+                    spare[i].write(emit(i, acc));
+                    acc = f(acc, x);
+                }
+            }
+        }
+        // Safety: the loop above wrote every index in `0..n`.
+        unsafe { out.set_len(n) };
+    } else {
+        for i in 0..n {
+            let x = load(i);
+            if mode.inclusive() {
+                acc = f(acc, x);
+                out.push(emit(i, acc));
+            } else {
+                out.push(emit(i, acc));
+                acc = f(acc, x);
+            }
+        }
+    }
+    (out, acc)
+}
+
+/// The generic blocked scan engine. Returns the emitted output vector
+/// and the total reduction of all loaded values (in traversal order),
+/// which costs nothing extra: it is the final accumulator of the block
+/// offset scan.
+///
+/// `f` must be associative with identity `identity`; the blocked
+/// schedule reassociates combines across blocks.
+pub(crate) fn engine<S, U, L, F, E>(
+    sched: Schedule,
+    n: usize,
+    load: L,
+    identity: S,
+    f: F,
+    emit: E,
+    mode: Mode,
+) -> (Vec<U>, S)
+where
+    S: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    L: Fn(usize) -> S + Sync,
+    F: Fn(S, S) -> S + Sync,
+    E: Fn(usize, S) -> U + Sync,
+{
+    if !go_parallel(sched, n) {
+        return seq_engine(n, &load, identity, &f, &emit, mode);
+    }
+    let nblocks = plan_blocks(n, engine_width(sched));
+    if nblocks <= 1 {
+        return seq_engine(n, &load, identity, &f, &emit, mode);
+    }
+
+    // Up sweep: one partial reduction per block, in traversal order.
+    let mut partials = vec![identity; nblocks];
+    {
+        let p = SendPtr(partials.as_mut_ptr());
+        let load = &load;
+        let f = &f;
+        run_blocks(sched, nblocks, move |b| {
+            let r = block_range(n, nblocks, b);
+            let mut acc = identity;
+            if mode.backward() {
+                for i in r.rev() {
+                    acc = f(acc, load(i));
+                }
+            } else {
+                for i in r {
+                    acc = f(acc, load(i));
+                }
+            }
+            // Safety: task `b` writes only index `b` (see `SendPtr`).
+            unsafe { p.get().add(b).write(acc) };
+        });
+    }
+
+    // Scan of block sums (small, sequential), in place; the final
+    // accumulator is the total reduction.
+    let mut offsets = partials;
+    let mut acc = identity;
+    if mode.backward() {
+        for o in offsets.iter_mut().rev() {
+            let x = *o;
+            *o = acc;
+            acc = f(acc, x);
+        }
+    } else {
+        for o in offsets.iter_mut() {
+            let x = *o;
+            *o = acc;
+            acc = f(acc, x);
+        }
+    }
+    let total = acc;
+
+    // Down sweep: local re-scan seeded with the block offset, written
+    // straight into uninitialized output — no identity pre-fill pass.
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    {
+        let o = SendPtr(out.as_mut_ptr());
+        let offsets = &offsets;
+        let load = &load;
+        let f = &f;
+        let emit = &emit;
+        run_blocks(sched, nblocks, move |b| {
+            let r = block_range(n, nblocks, b);
+            let mut acc = offsets[b];
+            // Safety: blocks are disjoint and cover `0..n`, so every
+            // slot is written exactly once before `set_len` below.
+            if mode.backward() {
+                for i in r.rev() {
+                    let x = load(i);
+                    if mode.inclusive() {
+                        acc = f(acc, x);
+                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                    } else {
+                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        acc = f(acc, x);
+                    }
+                }
+            } else {
+                for i in r {
+                    let x = load(i);
+                    if mode.inclusive() {
+                        acc = f(acc, x);
+                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                    } else {
+                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        acc = f(acc, x);
+                    }
+                }
+            }
+        });
+    }
+    // Safety: every index in `0..n` was initialized by exactly one block.
+    unsafe { out.set_len(n) };
+    (out, total)
+}
+
+/// Blocked reduction through a load closure.
+pub(crate) fn reduce_engine<S, L, F>(sched: Schedule, n: usize, load: L, identity: S, f: F) -> S
+where
+    S: Copy + Send + Sync,
+    L: Fn(usize) -> S + Sync,
+    F: Fn(S, S) -> S + Sync,
+{
+    if !go_parallel(sched, n) {
+        let mut acc = identity;
+        for i in 0..n {
+            acc = f(acc, load(i));
+        }
+        return acc;
+    }
+    let nblocks = plan_blocks(n, engine_width(sched));
+    let mut partials = vec![identity; nblocks];
+    {
+        let p = SendPtr(partials.as_mut_ptr());
+        let load = &load;
+        let f = &f;
+        run_blocks(sched, nblocks, move |b| {
+            let mut acc = identity;
+            for i in block_range(n, nblocks, b) {
+                acc = f(acc, load(i));
+            }
+            // Safety: task `b` writes only index `b`.
+            unsafe { p.get().add(b).write(acc) };
+        });
+    }
+    seq_reduce_by(&partials, identity, f)
+}
+
+/// Blocked elementwise tabulation: `out[i] = g(i)`, written straight
+/// into uninitialized output.
+pub(crate) fn fill_engine<U, G>(sched: Schedule, n: usize, g: G) -> Vec<U>
+where
+    U: Copy + Send + Sync,
+    G: Fn(usize) -> U + Sync,
+{
+    if !go_parallel(sched, n) {
+        return (0..n).map(g).collect();
+    }
+    let nblocks = plan_blocks(n, engine_width(sched));
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    {
+        let o = SendPtr(out.as_mut_ptr());
+        let g = &g;
+        run_blocks(sched, nblocks, move |b| {
+            for i in block_range(n, nblocks, b) {
+                // Safety: blocks are disjoint and cover `0..n`.
+                unsafe { o.get().add(i).write(g(i)) };
+            }
+        });
+    }
+    // Safety: every index in `0..n` was initialized by exactly one block.
+    unsafe { out.set_len(n) };
+    out
 }
 
 /// Exclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
@@ -114,28 +471,16 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    if a.len() < PAR_THRESHOLD {
-        return seq_exclusive_scan_by(a, identity, f);
-    }
-    let bs = block_size(a.len());
-    let partials = block_partials(a, bs, identity, &f);
-    // Scan of block sums (small, sequential).
-    let offsets = seq_exclusive_scan_by(&partials, identity, &f);
-    // Down sweep: local exclusive scan seeded with the block offset.
-    let mut out: Vec<T> = vec![identity; a.len()];
-    std::thread::scope(|s| {
-        for ((out_c, in_c), &off) in out.chunks_mut(bs).zip(a.chunks(bs)).zip(&offsets) {
-            let f = &f;
-            s.spawn(move || {
-                let mut acc = off;
-                for (o, &x) in out_c.iter_mut().zip(in_c) {
-                    *o = acc;
-                    acc = f(acc, x);
-                }
-            });
-        }
-    });
-    out
+    exclusive_scan_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`exclusive_scan_by`] under an explicit [`Schedule`].
+pub fn exclusive_scan_by_sched<T, F>(sched: Schedule, a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveFwd).0
 }
 
 /// Inclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
@@ -144,26 +489,145 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    if a.len() < PAR_THRESHOLD {
-        return seq_inclusive_scan_by(a, identity, f);
-    }
-    let bs = block_size(a.len());
-    let partials = block_partials(a, bs, identity, &f);
-    let offsets = seq_exclusive_scan_by(&partials, identity, &f);
-    let mut out: Vec<T> = vec![identity; a.len()];
-    std::thread::scope(|s| {
-        for ((out_c, in_c), &off) in out.chunks_mut(bs).zip(a.chunks(bs)).zip(&offsets) {
-            let f = &f;
-            s.spawn(move || {
-                let mut acc = off;
-                for (o, &x) in out_c.iter_mut().zip(in_c) {
-                    acc = f(acc, x);
-                    *o = acc;
-                }
-            });
-        }
-    });
-    out
+    inclusive_scan_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`inclusive_scan_by`] under an explicit [`Schedule`].
+pub fn inclusive_scan_by_sched<T, F>(sched: Schedule, a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::InclusiveFwd).0
+}
+
+/// Exclusive *backward* scan: element `i` receives the combine, in
+/// descending index order, of the elements after it. Walks the blocks
+/// right-to-left — no reversed copy of the input is made.
+pub fn exclusive_scan_backward_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    exclusive_scan_backward_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`exclusive_scan_backward_by`] under an explicit [`Schedule`].
+pub fn exclusive_scan_backward_by_sched<T, F>(sched: Schedule, a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveBwd).0
+}
+
+/// Inclusive backward scan; see [`exclusive_scan_backward_by`].
+pub fn inclusive_scan_backward_by<T, F>(a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    inclusive_scan_backward_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`inclusive_scan_backward_by`] under an explicit [`Schedule`].
+pub fn inclusive_scan_backward_by_sched<T, F>(sched: Schedule, a: &[T], identity: T, f: F) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::InclusiveBwd).0
+}
+
+/// Exclusive scan that also returns the total reduction, in one pass
+/// over the input: the total falls out of the block-offset scan.
+pub fn scan_with_total_by<T, F>(a: &[T], identity: T, f: F) -> (Vec<T>, T)
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    engine(
+        default_schedule(),
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+    )
+}
+
+/// Fused map→scan: the exclusive forward scan of `[g(a[0]), g(a[1]),
+/// ...]` without materializing the mapped vector.
+pub fn scan_map_by<T, U, G, F>(a: &[T], g: G, identity: U, f: F) -> Vec<U>
+where
+    T: Copy + Sync,
+    U: Copy + Send + Sync,
+    G: Fn(T) -> U + Sync,
+    F: Fn(U, U) -> U + Sync,
+{
+    engine(
+        default_schedule(),
+        a.len(),
+        |i| g(a[i]),
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+    )
+    .0
+}
+
+/// [`scan_map_by`] that also returns the total reduction of the mapped
+/// values (still one pass over the input).
+pub fn scan_map_with_total_by<T, U, G, F>(a: &[T], g: G, identity: U, f: F) -> (Vec<U>, U)
+where
+    T: Copy + Sync,
+    U: Copy + Send + Sync,
+    G: Fn(T) -> U + Sync,
+    F: Fn(U, U) -> U + Sync,
+{
+    engine(
+        default_schedule(),
+        a.len(),
+        |i| g(a[i]),
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+    )
+}
+
+/// Fused map→backward-scan; see [`scan_map_by`].
+pub fn scan_map_backward_by<T, U, G, F>(a: &[T], g: G, identity: U, f: F) -> Vec<U>
+where
+    T: Copy + Sync,
+    U: Copy + Send + Sync,
+    G: Fn(T) -> U + Sync,
+    F: Fn(U, U) -> U + Sync,
+{
+    engine(
+        default_schedule(),
+        a.len(),
+        |i| g(a[i]),
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveBwd,
+    )
+    .0
+}
+
+/// Fused map→reduce: the reduction of `[g(a[0]), g(a[1]), ...]` without
+/// materializing the mapped vector.
+pub fn reduce_map_by<T, U, G, F>(a: &[T], g: G, identity: U, f: F) -> U
+where
+    T: Copy + Sync,
+    U: Copy + Send + Sync,
+    G: Fn(T) -> U + Sync,
+    F: Fn(U, U) -> U + Sync,
+{
+    reduce_engine(default_schedule(), a.len(), |i| g(a[i]), identity, f)
 }
 
 /// Reduction; parallel above [`PAR_THRESHOLD`].
@@ -172,41 +636,47 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    if a.len() < PAR_THRESHOLD {
-        return seq_reduce_by(a, identity, f);
-    }
-    let bs = block_size(a.len());
-    let partials = block_partials(a, bs, identity, &f);
-    seq_reduce_by(&partials, identity, &f)
+    reduce_by_sched(default_schedule(), a, identity, f)
 }
 
-/// Parallel elementwise map into a fresh vector (the paper's per-processor
-/// arithmetic step, §2.1). Sequential below the threshold.
+/// [`reduce_by`] under an explicit [`Schedule`].
+pub fn reduce_by_sched<T, F>(sched: Schedule, a: &[T], identity: T, f: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    reduce_engine(sched, a.len(), |i| a[i], identity, f)
+}
+
+/// Parallel elementwise map into a fresh vector (the paper's
+/// per-processor arithmetic step, §2.1). Sequential below the threshold.
 pub fn map_by<T, U, F>(a: &[T], f: F) -> Vec<U>
 where
     T: Copy + Send + Sync,
     U: Copy + Send + Sync,
     F: Fn(T) -> U + Sync,
 {
-    if a.len() < PAR_THRESHOLD {
-        return a.iter().map(|&x| f(x)).collect();
-    }
-    let bs = block_size(a.len());
-    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = a
-            .chunks(bs)
-            .map(|c| {
-                let f = &f;
-                s.spawn(move || c.iter().map(|&x| f(x)).collect::<Vec<U>>())
-            })
-            .collect();
-        handles.into_iter().map(join).collect()
-    });
-    let mut out = Vec::with_capacity(a.len());
-    for p in parts {
-        out.extend_from_slice(&p);
-    }
-    out
+    map_by_sched(default_schedule(), a, f)
+}
+
+/// [`map_by`] under an explicit [`Schedule`].
+pub fn map_by_sched<T, U, F>(sched: Schedule, a: &[T], f: F) -> Vec<U>
+where
+    T: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    F: Fn(T) -> U + Sync,
+{
+    fill_engine(sched, a.len(), |i| f(a[i]))
+}
+
+/// Parallel tabulation: `out[i] = g(i)` for `i` in `0..n`. The fused
+/// form of "build an index-derived vector then map it".
+pub fn tabulate_by<U, G>(n: usize, g: G) -> Vec<U>
+where
+    U: Copy + Send + Sync,
+    G: Fn(usize) -> U + Sync,
+{
+    fill_engine(default_schedule(), n, g)
 }
 
 /// Parallel elementwise zip-map of two equal-length vectors.
@@ -221,31 +691,7 @@ where
     F: Fn(A, B) -> U + Sync,
 {
     assert_eq!(a.len(), b.len(), "zip_by length mismatch");
-    if a.len() < PAR_THRESHOLD {
-        return a.iter().zip(b).map(|(&x, &y)| f(x, y)).collect();
-    }
-    let bs = block_size(a.len());
-    let parts: Vec<Vec<U>> = std::thread::scope(|s| {
-        let handles: Vec<_> = a
-            .chunks(bs)
-            .zip(b.chunks(bs))
-            .map(|(ca, cb)| {
-                let f = &f;
-                s.spawn(move || {
-                    ca.iter()
-                        .zip(cb)
-                        .map(|(&x, &y)| f(x, y))
-                        .collect::<Vec<U>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(join).collect()
-    });
-    let mut out = Vec::with_capacity(a.len());
-    for p in parts {
-        out.extend_from_slice(&p);
-    }
-    out
+    fill_engine(default_schedule(), a.len(), |i| f(a[i], b[i]))
 }
 
 #[cfg(test)]
@@ -266,8 +712,10 @@ mod tests {
         let e: [u32; 0] = [];
         assert!(seq_exclusive_scan_by(&e, 0, |a, b| a + b).is_empty());
         assert!(exclusive_scan_by(&e, 0, |a, b| a + b).is_empty());
+        assert!(exclusive_scan_backward_by(&e, 0, |a, b| a + b).is_empty());
         assert_eq!(seq_exclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![0]);
         assert_eq!(seq_inclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![7]);
+        assert_eq!(inclusive_scan_backward_by(&[7u32], 0, |a, b| a + b), vec![7]);
     }
 
     #[test]
@@ -275,8 +723,10 @@ mod tests {
         let n = PAR_THRESHOLD * 3 + 17;
         let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
         let seq = seq_exclusive_scan_by(&a, 0, |x, y| x.wrapping_add(y));
-        let par = exclusive_scan_by(&a, 0, |x, y| x.wrapping_add(y));
-        assert_eq!(seq, par);
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            let got = exclusive_scan_by_sched(sched, &a, 0, |x, y| x.wrapping_add(y));
+            assert_eq!(seq, got, "schedule {sched:?}");
+        }
     }
 
     #[test]
@@ -284,22 +734,83 @@ mod tests {
         let n = PAR_THRESHOLD * 2 + 3;
         let a: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 104729).collect();
         let seq = seq_inclusive_scan_by(&a, 0, |x, y| x.max(y));
-        let par = inclusive_scan_by(&a, 0, |x, y| x.max(y));
-        assert_eq!(seq, par);
+        for sched in [Schedule::Pooled, Schedule::Spawn] {
+            assert_eq!(seq, inclusive_scan_by_sched(sched, &a, 0, |x, y| x.max(y)));
+        }
+    }
+
+    #[test]
+    fn backward_scans_match_reversed_forward() {
+        for n in [0usize, 1, 5, 1000, PAR_THRESHOLD * 2 + 7] {
+            let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+            let mut rev = a.clone();
+            rev.reverse();
+            let mut expect_exc = seq_exclusive_scan_by(&rev, 0u64, |x, y| x.wrapping_add(y));
+            expect_exc.reverse();
+            let mut expect_inc = seq_inclusive_scan_by(&rev, 0u64, |x, y| x.wrapping_add(y));
+            expect_inc.reverse();
+            for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+                assert_eq!(
+                    exclusive_scan_backward_by_sched(sched, &a, 0, |x, y| x.wrapping_add(y)),
+                    expect_exc,
+                    "n={n} sched={sched:?}"
+                );
+                assert_eq!(
+                    inclusive_scan_backward_by_sched(sched, &a, 0, |x, y| x.wrapping_add(y)),
+                    expect_inc,
+                    "n={n} sched={sched:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn with_total_agrees_with_reduce() {
+        for n in [0usize, 1, 100, PAR_THRESHOLD + 1] {
+            let a: Vec<u64> = (0..n as u64).collect();
+            let (s, t) = scan_with_total_by(&a, 0, |x, y| x + y);
+            assert_eq!(s, seq_exclusive_scan_by(&a, 0, |x, y| x + y));
+            assert_eq!(t, seq_reduce_by(&a, 0, |x, y| x + y));
+        }
+    }
+
+    #[test]
+    fn fused_map_scan_variants() {
+        let n = PAR_THRESHOLD + 9;
+        let flags: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        let ones: Vec<usize> = flags.iter().map(|&f| usize::from(f)).collect();
+        assert_eq!(
+            scan_map_by(&flags, usize::from, 0, |a, b| a + b),
+            seq_exclusive_scan_by(&ones, 0, |a, b| a + b)
+        );
+        let (s, t) = scan_map_with_total_by(&flags, usize::from, 0, |a, b| a + b);
+        assert_eq!(s, seq_exclusive_scan_by(&ones, 0, |a, b| a + b));
+        assert_eq!(t, ones.iter().sum::<usize>());
+        let mut rev_ones = ones.clone();
+        rev_ones.reverse();
+        let mut expect = seq_exclusive_scan_by(&rev_ones, 0, |a, b| a + b);
+        expect.reverse();
+        assert_eq!(scan_map_backward_by(&flags, usize::from, 0, |a, b| a + b), expect);
+        assert_eq!(
+            reduce_map_by(&flags, usize::from, 0, |a, b| a + b),
+            ones.iter().sum::<usize>()
+        );
     }
 
     #[test]
     fn reduce_matches() {
         let n = PAR_THRESHOLD * 2 + 5;
         let a: Vec<u64> = (0..n as u64).collect();
-        assert_eq!(
-            reduce_by(&a, 0, |x, y| x + y),
-            (n as u64 - 1) * (n as u64) / 2
-        );
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            assert_eq!(
+                reduce_by_sched(sched, &a, 0, |x, y| x + y),
+                (n as u64 - 1) * (n as u64) / 2
+            );
+        }
     }
 
     #[test]
-    fn map_and_zip() {
+    fn map_zip_and_tabulate() {
         let a: Vec<u32> = (0..100).collect();
         let b: Vec<u32> = (0..100).map(|i| i * 2).collect();
         assert_eq!(map_by(&a, |x| x + 1)[99], 100);
@@ -311,11 +822,81 @@ mod tests {
         let zipped = zip_by(&big, &big, |x, y| x + y);
         assert_eq!(zipped[9], 18);
         assert_eq!(zipped.len(), big.len());
+        let t = tabulate_by(PAR_THRESHOLD + 3, |i| i as u64 * 7);
+        assert_eq!(t.len(), PAR_THRESHOLD + 3);
+        assert!(t.iter().enumerate().all(|(i, &v)| v == i as u64 * 7));
     }
 
     #[test]
     #[should_panic(expected = "length mismatch")]
     fn zip_length_mismatch_panics() {
         zip_by(&[1u32, 2], &[1u32], |a, b| a + b);
+    }
+
+    #[test]
+    fn block_plan_partitions_exactly() {
+        // Adversarial sizes around the threshold and block-multiple
+        // boundaries: the plan must partition 0..n into balanced blocks
+        // and, when there are more blocks than workers, a multiple of
+        // the worker count (the seed engine could leave a lone tiny
+        // tail block: `4·workers + 1` chunks).
+        let sizes = [
+            PAR_THRESHOLD - 1,
+            PAR_THRESHOLD,
+            PAR_THRESHOLD + 1,
+            MIN_BLOCK * 16 - 1,
+            MIN_BLOCK * 16,
+            MIN_BLOCK * 16 + 1,
+            MIN_BLOCK * 17 + 3,
+            1 << 20,
+            (1 << 20) + 1,
+        ];
+        for workers in [1usize, 2, 3, 4, 7, 8, 64] {
+            for &n in &sizes {
+                let nb = plan_blocks(n, workers);
+                assert!(nb >= 1);
+                assert!(nb <= 4 * workers);
+                if nb > workers {
+                    assert_eq!(nb % workers, 0, "n={n} workers={workers} nb={nb}");
+                }
+                // Ranges partition 0..n, in order, balanced to ±1.
+                let mut next = 0usize;
+                let base = n / nb;
+                for b in 0..nb {
+                    let r = block_range(n, nb, b);
+                    assert_eq!(r.start, next, "n={n} nb={nb} b={b}");
+                    let len = r.end - r.start;
+                    assert!(len == base || len == base + 1, "n={n} nb={nb} b={b}");
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_reassociate_identically() {
+        // Same block plan on both parallel schedules: even a
+        // non-associative operator (float addition) must come out
+        // bit-identical between Pooled and Spawn.
+        let n = PAR_THRESHOLD * 2 + 13;
+        let a: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let pooled = exclusive_scan_by_sched(Schedule::Pooled, &a, 0.0, |x, y| x + y);
+        let spawn = exclusive_scan_by_sched(Schedule::Spawn, &a, 0.0, |x, y| x + y);
+        if pool::global().threads() > 1 {
+            assert_eq!(pooled, spawn);
+        } else {
+            // Width-1 pool: Pooled falls back to the sequential kernel.
+            assert_eq!(pooled, seq_exclusive_scan_by(&a, 0.0, |x, y| x + y));
+        }
+    }
+
+    #[test]
+    fn default_schedule_roundtrip() {
+        assert_eq!(default_schedule(), Schedule::Pooled);
+        set_default_schedule(Schedule::Sequential);
+        assert_eq!(default_schedule(), Schedule::Sequential);
+        set_default_schedule(Schedule::Pooled);
+        assert_eq!(default_schedule(), Schedule::Pooled);
     }
 }

@@ -1,0 +1,416 @@
+//! A lazily-initialized persistent worker pool for the scan engine.
+//!
+//! The seed engine spawned fresh scoped OS threads on *every* scan call
+//! (two `thread::scope` rounds per scan). That per-call setup cost is
+//! exactly what the paper's "scans are unit-time primitives" thesis says
+//! should not exist, so this module replaces it with one process-wide
+//! pool: [`global()`] builds `available_parallelism()` workers on first
+//! use (override with the `SCAN_CORE_THREADS` environment variable) and
+//! every subsequent scan only has to wake them.
+//!
+//! Design notes:
+//!
+//! - **Dependency-free**: a `Mutex`/`Condvar` gate broadcasts one job at
+//!   a time to the workers; tasks inside a job are claimed with a single
+//!   `fetch_add` each, so block-level load balancing is lock-free.
+//! - **The submitter participates**: a pool of `k` threads keeps `k - 1`
+//!   parked workers, and the thread calling [`WorkerPool::run`] executes
+//!   tasks alongside them. A job therefore always completes even if no
+//!   worker ever wakes.
+//! - **Clean sequential fallback**: a pool of size 1 spawns no threads
+//!   at all and `run` degrades to a plain loop; the same happens for a
+//!   contended or re-entrant submission, which also makes nested `run`
+//!   calls deadlock-free by construction.
+//! - **Panic transparency**: a panicking task is caught on the worker,
+//!   carried to the submitter, and resumed there — same observable
+//!   behavior as the scoped-spawn engine it replaces.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Hard cap on the pool width, far above any sane `SCAN_CORE_THREADS`.
+const MAX_THREADS: usize = 512;
+
+/// Lock a mutex, ignoring poisoning (no task code runs under our locks,
+/// so a poisoned lock still guards consistent data).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Condvar wait with the same poisoning policy as [`lock`].
+fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Type-erased pointer to the job's task closure.
+///
+/// Safety: `WorkerPool::run` keeps the pointee alive until every task of
+/// the job has finished (it blocks on the job's completion count), and
+/// no worker dereferences the pointer after claiming a task index `>=
+/// ntasks`, so the pointer is never read after `run` returns.
+struct TaskPtr(*const (dyn Fn(usize) + Sync));
+
+unsafe impl Send for TaskPtr {}
+unsafe impl Sync for TaskPtr {}
+
+/// Completion state of one job.
+#[derive(Default)]
+struct Done {
+    /// Tasks fully executed so far.
+    finished: usize,
+    /// First panic payload observed, carried back to the submitter.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// One batch of `ntasks` independent tasks sharing a claim counter.
+struct Job {
+    task: TaskPtr,
+    ntasks: usize,
+    next: AtomicUsize,
+    done: Mutex<Done>,
+    done_cv: Condvar,
+}
+
+impl Job {
+    /// Claim and execute tasks until the job is exhausted.
+    fn run_tasks(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.ntasks {
+                return;
+            }
+            // Safety: `i < ntasks`, so the submitter is still inside
+            // `run` and the closure is alive (see `TaskPtr`).
+            let task = unsafe { &*self.task.0 };
+            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let mut done = lock(&self.done);
+            done.finished += 1;
+            if let Err(payload) = result {
+                done.panic.get_or_insert(payload);
+            }
+            if done.finished == self.ntasks {
+                self.done_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// The broadcast slot the workers watch.
+#[derive(Default)]
+struct Gate {
+    /// Bumped on every post so sleeping workers can tell old from new.
+    epoch: u64,
+    /// The job currently being offered, if any.
+    job: Option<Arc<Job>>,
+    /// Set once, on pool drop.
+    shutdown: bool,
+}
+
+struct Shared {
+    gate: Mutex<Gate>,
+    work_cv: Condvar,
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut gate = lock(&shared.gate);
+            loop {
+                if gate.shutdown {
+                    return;
+                }
+                if gate.epoch != seen_epoch {
+                    seen_epoch = gate.epoch;
+                    if let Some(job) = gate.job.clone() {
+                        break job;
+                    }
+                } else {
+                    gate = wait(&shared.work_cv, gate);
+                }
+            }
+        };
+        job.run_tasks();
+    }
+}
+
+/// A persistent pool of worker threads executing indexed task batches.
+///
+/// Most code should use the process-wide [`global()`] pool; constructing
+/// private pools is mainly for tests and benchmarks that need a specific
+/// width regardless of the host.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    /// Serializes submissions; `try_lock` keeps re-entrant or contended
+    /// callers on the inline path instead of deadlocking.
+    submit: Mutex<()>,
+    threads: usize,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Build a pool of `threads` total execution lanes: `threads - 1`
+    /// parked workers plus the submitting thread itself. `threads <= 1`
+    /// spawns nothing and makes [`run`](Self::run) purely sequential.
+    pub fn new(threads: usize) -> Self {
+        let want = threads.clamp(1, MAX_THREADS);
+        let shared = Arc::new(Shared {
+            gate: Mutex::new(Gate::default()),
+            work_cv: Condvar::new(),
+        });
+        let mut handles = Vec::new();
+        for i in 1..want {
+            let shared = Arc::clone(&shared);
+            let builder = std::thread::Builder::new().name(format!("scan-core-{i}"));
+            // A failed spawn just narrows the pool; `run` still works.
+            if let Ok(h) = builder.spawn(move || worker_loop(&shared)) {
+                handles.push(h);
+            }
+        }
+        WorkerPool {
+            shared,
+            submit: Mutex::new(()),
+            threads: handles.len() + 1,
+            handles,
+        }
+    }
+
+    /// Number of execution lanes (parked workers + the submitter).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Execute `task(0), task(1), ..., task(ntasks - 1)`, distributing
+    /// the indices across the pool, and return when all have finished.
+    ///
+    /// Tasks may run in any order and concurrently; the closure must
+    /// make concurrent index-disjoint work safe (the scan engine does
+    /// this by giving every index a disjoint output range). Completion
+    /// of `run` happens-after every task, so results written by tasks
+    /// are visible to the caller without extra synchronization.
+    ///
+    /// # Panics
+    /// If a task panics, the first payload is re-raised on the calling
+    /// thread after the remaining tasks finish.
+    pub fn run<F>(&self, ntasks: usize, task: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        if ntasks == 0 {
+            return;
+        }
+        if self.threads == 1 || ntasks == 1 {
+            for i in 0..ntasks {
+                task(i);
+            }
+            return;
+        }
+        // One job at a time: a second submitter (or a task submitting
+        // from inside the pool) runs inline instead of queueing.
+        let Ok(_submission) = self.submit.try_lock() else {
+            for i in 0..ntasks {
+                task(i);
+            }
+            return;
+        };
+        // Erase the borrow lifetime for the `'static` trait-object field:
+        // `run` blocks until every task finishes, so `task` outlives all
+        // dereferences of the pointer (see `TaskPtr`).
+        let wide: *const (dyn Fn(usize) + Sync + '_) = &task;
+        #[allow(clippy::missing_transmute_annotations)]
+        let erased: TaskPtr = TaskPtr(unsafe { std::mem::transmute(wide) });
+        let job = Arc::new(Job {
+            task: erased,
+            ntasks,
+            next: AtomicUsize::new(0),
+            done: Mutex::new(Done::default()),
+            done_cv: Condvar::new(),
+        });
+        {
+            let mut gate = lock(&self.shared.gate);
+            gate.epoch = gate.epoch.wrapping_add(1);
+            gate.job = Some(Arc::clone(&job));
+            self.shared.work_cv.notify_all();
+        }
+        // Participate: the submitter is the pool's extra lane.
+        job.run_tasks();
+        let payload = {
+            let mut done = lock(&job.done);
+            while done.finished < ntasks {
+                done = wait(&job.done_cv, done);
+            }
+            done.panic.take()
+        };
+        {
+            let mut gate = lock(&self.shared.gate);
+            if gate.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
+                gate.job = None;
+            }
+        }
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut gate = lock(&self.shared.gate);
+            gate.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Pool width for the global pool: `SCAN_CORE_THREADS` if set to a
+/// positive integer, else `available_parallelism()`.
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("SCAN_CORE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n.min(MAX_THREADS);
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// The process-wide pool, built on first use. `SCAN_CORE_THREADS=k`
+/// (read once, at that first use) overrides the width; `k = 1` disables
+/// parallel execution entirely.
+pub fn global() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = WorkerPool::new(4);
+        for ntasks in [0usize, 1, 2, 3, 7, 64, 1000] {
+            let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(ntasks, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn results_are_visible_after_run() {
+        let pool = WorkerPool::new(3);
+        let mut out = vec![0u64; 100];
+        {
+            let slots: Vec<Mutex<&mut u64>> = out.iter_mut().map(Mutex::new).collect();
+            pool.run(100, |i| {
+                **lock(&slots[i]) = (i as u64) * 3;
+            });
+        }
+        assert!(out.iter().enumerate().all(|(i, &v)| v == (i as u64) * 3));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_jobs() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        for _ in 0..200 {
+            pool.run(8, |i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 200 * (0..8).sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicUsize::new(0);
+        pool.run(10, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn task_panic_propagates_to_submitter() {
+        let pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(16, |i| {
+                assert!(i != 9, "task nine exploded");
+            });
+        }));
+        let msg = match caught {
+            Err(p) => p
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_default(),
+            Ok(()) => panic!("expected the job to panic"),
+        };
+        assert!(msg.contains("task nine exploded"), "got: {msg}");
+        // The pool must survive a panicking job.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn concurrent_submitters_all_complete() {
+        let pool = WorkerPool::new(4);
+        let total = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.run(16, |i| {
+                            total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        let per_job: u64 = (1..=16).sum();
+        assert_eq!(total.load(Ordering::Relaxed), 6 * 50 * per_job);
+    }
+
+    #[test]
+    fn reentrant_run_degrades_to_inline() {
+        let pool = WorkerPool::new(4);
+        let inner_hits = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            // A task submitting to its own pool must not deadlock.
+            pool.run(4, |_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const WorkerPool;
+        let b = global() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+    }
+}

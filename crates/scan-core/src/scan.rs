@@ -28,14 +28,12 @@ pub fn scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 /// Exclusive forward scan that also returns the total reduction
 /// (`a0 ⊕ ... ⊕ a(n-1)`), which an exclusive scan otherwise drops.
 ///
-/// Equivalent to the pair (`scan`, `reduce`) in one pass.
+/// Equivalent to the pair (`scan`, `reduce`), computed in one pass over
+/// the input: the total is the final accumulator of the engine's block
+/// offset scan (or of the sequential loop), so no re-combine or second
+/// traversal happens.
 pub fn scan_with_total<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> (Vec<T>, T) {
-    let out = scan::<O, T>(a);
-    let total = match (out.last(), a.last()) {
-        (Some(&s), Some(&x)) => O::combine(s, x),
-        _ => O::identity(),
-    };
-    (out, total)
+    parallel::scan_with_total_by(a, O::identity(), O::combine)
 }
 
 /// Inclusive forward scan: element `i` receives `a0 ⊕ ... ⊕ ai`.
@@ -44,25 +42,22 @@ pub fn inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 }
 
 /// Exclusive backward scan: element `i` receives
-/// `a(i+1) ⊕ ... ⊕ a(n-1)` (identity at the last position).
+/// `a(i+1) ⊕ ... ⊕ a(n-1)` (identity at the last position), combined in
+/// descending index order per §3.4's "reading the vector in reverse
+/// order". The engine walks the blocks right-to-left; no reversed copy
+/// of the input is allocated.
 ///
 /// ```
 /// use scan_core::{scan_backward, op::Sum};
 /// assert_eq!(scan_backward::<Sum, _>(&[1u32, 2, 3, 4]), vec![9, 7, 4, 0]);
 /// ```
 pub fn scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    let rev: Vec<T> = a.iter().rev().copied().collect();
-    let mut out = scan::<O, T>(&rev);
-    out.reverse();
-    out
+    parallel::exclusive_scan_backward_by(a, O::identity(), O::combine)
 }
 
 /// Inclusive backward scan: element `i` receives `ai ⊕ ... ⊕ a(n-1)`.
 pub fn inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    let rev: Vec<T> = a.iter().rev().copied().collect();
-    let mut out = inclusive_scan::<O, T>(&rev);
-    out.reverse();
-    out
+    parallel::inclusive_scan_backward_by(a, O::identity(), O::combine)
 }
 
 /// Reduction over the whole vector with operator `O`.

@@ -128,25 +128,35 @@ impl Segments {
     /// (0-based, ascending).
     ///
     /// Computed as an inclusive `+`-scan of the head flags, minus one —
-    /// the `Seg-Number` vector of the paper's Figure 16.
+    /// the `Seg-Number` vector of the paper's Figure 16. The flag
+    /// vector is loaded on the fly; no 0/1 vector is materialized.
     pub fn segment_ids(&self) -> Vec<usize> {
-        let ones: Vec<usize> = (0..self.len())
-            .map(|i| usize::from(self.is_head(i)))
-            .collect();
-        parallel::inclusive_scan_by(&ones, 0usize, |a, b| a + b)
-            .into_iter()
-            .map(|x| x - 1)
-            .collect()
+        parallel::engine(
+            parallel::default_schedule(),
+            self.len(),
+            |i| usize::from(self.is_head(i)),
+            0usize,
+            |a, b| a + b,
+            |_, s| s - 1,
+            parallel::Mode::InclusiveFwd,
+        )
+        .0
     }
 
     /// For every element, the index of its segment's head element.
     ///
-    /// Computed as an inclusive `max`-scan of `flag ? index : 0`.
+    /// Computed as a fused inclusive `max`-scan of `flag ? index : 0`.
     pub fn head_index_per_element(&self) -> Vec<usize> {
-        let marked: Vec<usize> = (0..self.len())
-            .map(|i| if self.is_head(i) { i } else { 0 })
-            .collect();
-        parallel::inclusive_scan_by(&marked, 0usize, |a, b| a.max(b))
+        parallel::engine(
+            parallel::default_schedule(),
+            self.len(),
+            |i| if self.is_head(i) { i } else { 0 },
+            0usize,
+            |a, b| a.max(b),
+            |_, s| s,
+            parallel::Mode::InclusiveFwd,
+        )
+        .0
     }
 
     /// Iterate over the `(start, end)` half-open range of every segment.
@@ -188,25 +198,39 @@ pub fn seg_combine<O: ScanOp<T>, T: ScanElem>(a: (T, bool), b: (T, bool)) -> (T,
     }
 }
 
+/// Is element `i` the **last** element of its segment? (The backward
+/// scans restart here, mirroring how the forward scans restart at
+/// heads.)
+#[inline]
+fn is_tail(segs: &Segments, i: usize) -> bool {
+    i + 1 == segs.len() || segs.is_head(i + 1)
+}
+
 /// Exclusive segmented scan: each segment head receives the identity;
 /// element `i` of a segment receives the combine of the segment's
 /// elements strictly before it.
+///
+/// Fully fused: the `(value, flag)` pairs are loaded on the fly and the
+/// head-shift happens in the engine's emit step, so neither a pair
+/// vector nor an inclusive intermediate is materialized.
 ///
 /// # Panics
 /// If `a.len() != segs.len()`.
 pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     assert_eq!(a.len(), segs.len(), "seg_scan length mismatch");
-    let inc = seg_inclusive_scan::<O, T>(a, segs);
-    // Shift right by one within each segment.
-    (0..a.len())
-        .map(|i| {
-            if segs.is_head(i) {
-                O::identity()
-            } else {
-                inc[i - 1]
-            }
-        })
-        .collect()
+    // The engine's exclusive state at `i` is the inclusive pair state
+    // at `i - 1`, so emitting `identity` at heads and the carried value
+    // elsewhere is exactly the per-segment right-shift.
+    parallel::engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| (a[i], segs.is_head(i)),
+        (O::identity(), false),
+        seg_combine::<O, T>,
+        |i, s: (T, bool)| if segs.is_head(i) { O::identity() } else { s.0 },
+        parallel::Mode::ExclusiveFwd,
+    )
+    .0
 }
 
 /// Inclusive segmented scan.
@@ -215,36 +239,66 @@ pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
 /// If `a.len() != segs.len()`.
 pub fn seg_inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     assert_eq!(a.len(), segs.len(), "seg_inclusive_scan length mismatch");
-    let pairs: Vec<(T, bool)> = a
-        .iter()
-        .enumerate()
-        .map(|(i, &v)| (v, segs.is_head(i)))
-        .collect();
-    parallel::inclusive_scan_by(&pairs, (O::identity(), false), seg_combine::<O, T>)
-        .into_iter()
-        .map(|(v, _)| v)
-        .collect()
+    parallel::engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| (a[i], segs.is_head(i)),
+        (O::identity(), false),
+        seg_combine::<O, T>,
+        |_, s: (T, bool)| s.0,
+        parallel::Mode::InclusiveFwd,
+    )
+    .0
 }
 
 /// Exclusive *backward* segmented scan: within each segment, element `i`
 /// receives the combine of the segment elements strictly after it; each
 /// segment's **last** element receives the identity.
+///
+/// Direction-aware: the engine walks the blocks right-to-left with the
+/// pair operator restarting at segment *tails*, which is §3.4's
+/// "reading the vector in reverse order" without allocating a reversed
+/// copy of the data or of the segmentation.
+///
+/// # Panics
+/// If `a.len() != segs.len()`.
 pub fn seg_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
-    let rev: Vec<T> = a.iter().rev().copied().collect();
-    let mut out = seg_scan::<O, T>(&rev, &segs.reversed());
-    out.reverse();
-    out
+    assert_eq!(a.len(), segs.len(), "seg_scan_backward length mismatch");
+    parallel::engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| (a[i], is_tail(segs, i)),
+        (O::identity(), false),
+        seg_combine::<O, T>,
+        |i, s: (T, bool)| if is_tail(segs, i) { O::identity() } else { s.0 },
+        parallel::Mode::ExclusiveBwd,
+    )
+    .0
 }
 
 /// Inclusive backward segmented scan.
+///
+/// # Panics
+/// If `a.len() != segs.len()`.
 pub fn seg_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(
     a: &[T],
     segs: &Segments,
 ) -> Vec<T> {
-    let rev: Vec<T> = a.iter().rev().copied().collect();
-    let mut out = seg_inclusive_scan::<O, T>(&rev, &segs.reversed());
-    out.reverse();
-    out
+    assert_eq!(
+        a.len(),
+        segs.len(),
+        "seg_inclusive_scan_backward length mismatch"
+    );
+    parallel::engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| (a[i], is_tail(segs, i)),
+        (O::identity(), false),
+        seg_combine::<O, T>,
+        |_, s: (T, bool)| s.0,
+        parallel::Mode::InclusiveBwd,
+    )
+    .0
 }
 
 #[cfg(test)]

@@ -35,6 +35,30 @@ pub trait PrimitiveScans {
     fn plus_scan(&self, a: &[u64]) -> Vec<u64>;
     /// Exclusive `max-scan` over `u64` words; position 0 receives 0.
     fn max_scan(&self, a: &[u64]) -> Vec<u64>;
+    /// Backward exclusive `+-scan` (§3.4): by default "implemented by
+    /// simply reading the vector into the processors in reverse order",
+    /// which is what a hardware backend does. Software backends override
+    /// this with a direction-aware kernel that never materialises the
+    /// reversed vector.
+    fn back_plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        let mut out = self.plus_scan(&reversed(a));
+        out.reverse();
+        out
+    }
+    /// Backward exclusive `max-scan`; see [`Self::back_plus_scan`].
+    fn back_max_scan(&self, a: &[u64]) -> Vec<u64> {
+        let mut out = self.max_scan(&reversed(a));
+        out.reverse();
+        out
+    }
+}
+
+/// Reverse-order copy used by the default (hardware-style) backward
+/// scans, which feed the processors in reverse per §3.4.
+fn reversed(a: &[u64]) -> Vec<u64> {
+    let mut r = a.to_vec();
+    r.reverse();
+    r
 }
 
 /// Shared backends delegate: a counted handle scans like its target,
@@ -47,6 +71,12 @@ impl<B: PrimitiveScans + ?Sized> PrimitiveScans for std::rc::Rc<B> {
     fn max_scan(&self, a: &[u64]) -> Vec<u64> {
         (**self).max_scan(a)
     }
+    fn back_plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).back_plus_scan(a)
+    }
+    fn back_max_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).back_max_scan(a)
+    }
 }
 
 impl<B: PrimitiveScans + ?Sized> PrimitiveScans for &B {
@@ -55,6 +85,12 @@ impl<B: PrimitiveScans + ?Sized> PrimitiveScans for &B {
     }
     fn max_scan(&self, a: &[u64]) -> Vec<u64> {
         (**self).max_scan(a)
+    }
+    fn back_plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).back_plus_scan(a)
+    }
+    fn back_max_scan(&self, a: &[u64]) -> Vec<u64> {
+        (**self).back_max_scan(a)
     }
 }
 
@@ -70,6 +106,12 @@ impl PrimitiveScans for SoftwareScans {
         // u64 max identity is 0 == u64::MIN, matching the hardware's
         // grounded parent input at the root.
         scan::<Max, _>(a)
+    }
+    fn back_plus_scan(&self, a: &[u64]) -> Vec<u64> {
+        parallel::exclusive_scan_backward_by(a, 0u64, |x, y| x.wrapping_add(y))
+    }
+    fn back_max_scan(&self, a: &[u64]) -> Vec<u64> {
+        parallel::exclusive_scan_backward_by(a, 0u64, u64::max)
     }
 }
 
@@ -287,20 +329,15 @@ pub fn seg_plus_scan_via_primitives<B: PrimitiveScans>(
         .collect())
 }
 
-/// Backward `+-scan` by reading the vector in reverse order (§3.4).
+/// Backward `+-scan` (§3.4): reads the vector in reverse order on
+/// hardware backends; software backends run a direction-aware kernel.
 pub fn back_plus_scan<B: PrimitiveScans>(b: &B, a: &[u64]) -> Vec<u64> {
-    let rev: Vec<u64> = a.iter().rev().copied().collect();
-    let mut out = b.plus_scan(&rev);
-    out.reverse();
-    out
+    b.back_plus_scan(a)
 }
 
-/// Backward `max-scan` by reading the vector in reverse order.
+/// Backward `max-scan`; see [`back_plus_scan`].
 pub fn back_max_scan<B: PrimitiveScans>(b: &B, a: &[u64]) -> Vec<u64> {
-    let rev: Vec<u64> = a.iter().rev().copied().collect();
-    let mut out = b.max_scan(&rev);
-    out.reverse();
-    out
+    b.back_max_scan(a)
 }
 
 #[cfg(test)]

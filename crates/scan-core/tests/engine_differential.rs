@@ -1,0 +1,309 @@
+//! Differential tests for the execution engine: every `*_by` entry
+//! point, under both parallel schedules ([`Schedule::Pooled`] and
+//! [`Schedule::Spawn`]) and all four scan directions, must agree with
+//! the sequential reference at sizes straddling `PAR_THRESHOLD`.
+//!
+//! The container running CI may expose a single core, which would give
+//! the lazy global pool width 1 and silently skip the parallel paths.
+//! [`setup`] pins `SCAN_CORE_THREADS=4` before the pool is first
+//! touched so the blocked kernels genuinely run multi-threaded here.
+
+use proptest::prelude::*;
+use scan_core::parallel::{self, Schedule, PAR_THRESHOLD};
+use scan_core::segmented::{
+    seg_inclusive_scan, seg_inclusive_scan_backward, seg_scan, seg_scan_backward, Segments,
+};
+use scan_core::{Max, ScanOp, Sum};
+use std::sync::{Mutex, Once};
+
+static INIT: Once = Once::new();
+
+/// Pin the pool width to 4 and force pool creation before any test
+/// runs a scan. `Once` serializes this against every other test thread,
+/// so the `set_var` cannot race a concurrent pool init reading the
+/// environment.
+fn setup() {
+    INIT.call_once(|| {
+        std::env::set_var("SCAN_CORE_THREADS", "4");
+        assert_eq!(
+            scan_core::pool::global().threads(),
+            4,
+            "pool must honor SCAN_CORE_THREADS"
+        );
+    });
+}
+
+/// Serializes tests that flip the process-wide default schedule.
+static SCHED_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the default schedule set to `s`, restoring Pooled after.
+fn with_default_schedule<R>(s: Schedule, f: impl FnOnce() -> R) -> R {
+    let _guard = SCHED_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    parallel::set_default_schedule(s);
+    let r = f();
+    parallel::set_default_schedule(Schedule::Pooled);
+    r
+}
+
+const PAR_SCHEDULES: [Schedule; 2] = [Schedule::Pooled, Schedule::Spawn];
+
+/// Sizes that straddle every interesting boundary: empty, tiny, just
+/// below/at/above the parallel threshold, a size that is not a multiple
+/// of the block plan, and a couple of larger parallel sizes.
+fn sizes() -> Vec<usize> {
+    vec![
+        0,
+        1,
+        2,
+        3,
+        7,
+        PAR_THRESHOLD - 1,
+        PAR_THRESHOLD,
+        PAR_THRESHOLD + 1,
+        PAR_THRESHOLD + PAR_THRESHOLD / 4 + 1,
+        2 * PAR_THRESHOLD + 7,
+    ]
+}
+
+/// Deterministic pseudo-random data (splitmix64).
+fn data(mut seed: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+/// Segment head flags with roughly one head per `period` elements.
+fn flags(seed: u64, n: usize, period: u64) -> Vec<bool> {
+    data(seed ^ 0x5e65, n)
+        .iter()
+        .map(|&x| x % period == 0)
+        .collect()
+}
+
+fn wadd(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn forward_scans_match_reference(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let ex = parallel::seq_exclusive_scan_by(&a, 0u64, wadd);
+            let inc = parallel::seq_inclusive_scan_by(&a, 0u64, wadd);
+            for sched in PAR_SCHEDULES {
+                prop_assert_eq!(
+                    parallel::exclusive_scan_by_sched(sched, &a, 0u64, wadd),
+                    ex.clone(),
+                    "exclusive fwd n={} sched={:?}", n, sched
+                );
+                prop_assert_eq!(
+                    parallel::inclusive_scan_by_sched(sched, &a, 0u64, wadd),
+                    inc.clone(),
+                    "inclusive fwd n={} sched={:?}", n, sched
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_scans_match_reversed_reference(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let rev: Vec<u64> = a.iter().rev().copied().collect();
+            let mut ex = parallel::seq_exclusive_scan_by(&rev, 0u64, u64::max);
+            ex.reverse();
+            let mut inc = parallel::seq_inclusive_scan_by(&rev, 0u64, u64::max);
+            inc.reverse();
+            for sched in PAR_SCHEDULES {
+                prop_assert_eq!(
+                    parallel::exclusive_scan_backward_by_sched(sched, &a, 0u64, u64::max),
+                    ex.clone(),
+                    "exclusive bwd n={} sched={:?}", n, sched
+                );
+                prop_assert_eq!(
+                    parallel::inclusive_scan_backward_by_sched(sched, &a, 0u64, u64::max),
+                    inc.clone(),
+                    "inclusive bwd n={} sched={:?}", n, sched
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_with_total_matches_scan_plus_reduce(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let ex = parallel::seq_exclusive_scan_by(&a, 0u64, wadd);
+            let total = parallel::seq_reduce_by(&a, 0u64, wadd);
+            for sched in PAR_SCHEDULES {
+                let (got, got_total) = with_default_schedule(sched, || {
+                    parallel::scan_with_total_by(&a, 0u64, wadd)
+                });
+                prop_assert_eq!(got, ex.clone(), "with_total scan n={}", n);
+                prop_assert_eq!(got_total, total, "with_total total n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_map_scans_match_unfused(seed in any::<u64>()) {
+        setup();
+        let g = |x: u64| (x % 17) as u32;
+        for n in sizes() {
+            let a = data(seed, n);
+            let mapped: Vec<u32> = a.iter().map(|&x| g(x)).collect();
+            let ex = parallel::seq_exclusive_scan_by(&mapped, 0u32, u32::wrapping_add);
+            let rev: Vec<u32> = mapped.iter().rev().copied().collect();
+            let mut bex = parallel::seq_exclusive_scan_by(&rev, 0u32, u32::wrapping_add);
+            bex.reverse();
+            let total = parallel::seq_reduce_by(&mapped, 0u32, u32::wrapping_add);
+            for sched in PAR_SCHEDULES {
+                let (f_scan, f_back, (f_wt, f_total), f_red) = with_default_schedule(sched, || {
+                    (
+                        parallel::scan_map_by(&a, g, 0u32, u32::wrapping_add),
+                        parallel::scan_map_backward_by(&a, g, 0u32, u32::wrapping_add),
+                        parallel::scan_map_with_total_by(&a, g, 0u32, u32::wrapping_add),
+                        parallel::reduce_map_by(&a, g, 0u32, u32::wrapping_add),
+                    )
+                });
+                prop_assert_eq!(f_scan, ex.clone(), "scan_map n={} sched={:?}", n, sched);
+                prop_assert_eq!(f_back, bex.clone(), "scan_map_backward n={}", n);
+                prop_assert_eq!(f_wt, ex.clone(), "scan_map_with_total scan n={}", n);
+                prop_assert_eq!(f_total, total, "scan_map_with_total total n={}", n);
+                prop_assert_eq!(f_red, total, "reduce_map n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_map_tabulate_zip_match_naive(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let b = data(seed ^ 0xbeef, n);
+            let red_ref = parallel::seq_reduce_by(&a, 0u64, u64::max);
+            let map_ref: Vec<u64> = a.iter().map(|&x| x ^ 0xff).collect();
+            let tab_ref: Vec<u64> = (0..n).map(|i| (i as u64) * 3).collect();
+            let zip_ref: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| x.wrapping_add(y)).collect();
+            for sched in PAR_SCHEDULES {
+                prop_assert_eq!(
+                    parallel::reduce_by_sched(sched, &a, 0u64, u64::max),
+                    red_ref,
+                    "reduce n={} sched={:?}", n, sched
+                );
+                prop_assert_eq!(
+                    parallel::map_by_sched(sched, &a, |x| x ^ 0xff),
+                    map_ref.clone(),
+                    "map n={}", n
+                );
+                let (tab, zip) = with_default_schedule(sched, || {
+                    (
+                        parallel::tabulate_by(n, |i| (i as u64) * 3),
+                        parallel::zip_by(&a, &b, |x: u64, y: u64| x.wrapping_add(y)),
+                    )
+                });
+                prop_assert_eq!(tab, tab_ref.clone(), "tabulate n={}", n);
+                prop_assert_eq!(zip, zip_ref.clone(), "zip n={}", n);
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_pair_operator_matches_per_segment_reference(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let f = flags(seed, n, 97);
+            let segs = Segments::from_flags(f);
+
+            // Per-segment sequential references, all four directions.
+            let mut ex = vec![0u64; n];
+            let mut inc = vec![0u64; n];
+            let mut bex = vec![0u64; n];
+            let mut binc = vec![0u64; n];
+            for (s, e) in segs.ranges() {
+                let mut acc = 0u64;
+                for i in s..e {
+                    ex[i] = acc;
+                    acc = acc.wrapping_add(a[i]);
+                    inc[i] = acc;
+                }
+                let mut acc = 0u64;
+                for i in (s..e).rev() {
+                    bex[i] = acc;
+                    acc = acc.wrapping_add(a[i]);
+                    binc[i] = acc;
+                }
+            }
+
+            for sched in PAR_SCHEDULES {
+                // The library's fused segmented scans (default-schedule
+                // entry points).
+                let (g_ex, g_inc, g_bex, g_binc) = with_default_schedule(sched, || {
+                    (
+                        seg_scan::<Sum, _>(&a, &segs),
+                        seg_inclusive_scan::<Sum, _>(&a, &segs),
+                        seg_scan_backward::<Sum, _>(&a, &segs),
+                        seg_inclusive_scan_backward::<Sum, _>(&a, &segs),
+                    )
+                });
+                prop_assert_eq!(g_ex, ex.clone(), "seg excl fwd n={} sched={:?}", n, sched);
+                prop_assert_eq!(g_inc, inc.clone(), "seg incl fwd n={}", n);
+                prop_assert_eq!(g_bex, bex.clone(), "seg excl bwd n={}", n);
+                prop_assert_eq!(g_binc, binc.clone(), "seg incl bwd n={}", n);
+
+                // The raw pair operator through the generic engine: the
+                // classic (value, flag) associative combine.
+                let pairs: Vec<(u64, bool)> =
+                    (0..n).map(|i| (a[i], segs.is_head(i))).collect();
+                let combined = parallel::inclusive_scan_by_sched(
+                    sched,
+                    &pairs,
+                    (0u64, false),
+                    |(v1, f1), (v2, f2)| {
+                        if f2 {
+                            (v2, true)
+                        } else {
+                            (v1.wrapping_add(v2), f1)
+                        }
+                    },
+                );
+                let got: Vec<u64> = combined.iter().map(|&(v, _)| v).collect();
+                prop_assert_eq!(got, inc.clone(), "pair-op seg scan n={} sched={:?}", n, sched);
+            }
+        }
+    }
+
+    #[test]
+    fn max_op_library_wrappers_match(seed in any::<u64>()) {
+        setup();
+        for n in sizes() {
+            let a = data(seed, n);
+            let ex: Vec<u64> = {
+                let mut out = Vec::with_capacity(n);
+                let mut acc = Max::identity();
+                for &x in &a {
+                    out.push(acc);
+                    acc = Max::combine(acc, x);
+                }
+                out
+            };
+            for sched in PAR_SCHEDULES {
+                let got = with_default_schedule(sched, || scan_core::scan::<Max, _>(&a));
+                prop_assert_eq!(got, ex.clone(), "scan::<Max> n={} sched={:?}", n, sched);
+            }
+        }
+    }
+}

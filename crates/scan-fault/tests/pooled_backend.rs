@@ -1,0 +1,86 @@
+//! The checked executor must keep verifying results when the software
+//! backend runs its blocked kernels on the persistent worker pool.
+//!
+//! The seed executor was only ever exercised at sizes far below the
+//! parallel threshold, so every checked scan it had verified was
+//! sequential. These tests push inputs past `PAR_THRESHOLD` with the
+//! pool pinned to 4 workers, proving the self-check chain holds over
+//! the multi-threaded engine.
+
+use scan_core::parallel::PAR_THRESHOLD;
+use scan_core::simulate::SoftwareScans;
+use scan_fault::CheckedExecutor;
+use std::sync::Once;
+
+static INIT: Once = Once::new();
+
+/// Pin the pool width to 4 before the lazy global pool initializes,
+/// so the parallel paths genuinely run even on a single-core CI box.
+fn setup() {
+    INIT.call_once(|| {
+        std::env::set_var("SCAN_CORE_THREADS", "4");
+        assert_eq!(scan_core::pool::global().threads(), 4);
+    });
+}
+
+fn splitmix(mut seed: u64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        })
+        .collect()
+}
+
+#[test]
+fn checked_executor_verifies_pooled_scans() {
+    setup();
+    let n = 2 * PAR_THRESHOLD + 7;
+    let a = splitmix(0xC0FFEE, n);
+
+    let mut plus_ref = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for &x in &a {
+        plus_ref.push(acc);
+        acc = acc.wrapping_add(x);
+    }
+    let mut max_ref = Vec::with_capacity(n);
+    let mut acc = 0u64;
+    for &x in &a {
+        max_ref.push(acc);
+        acc = acc.max(x);
+    }
+
+    let executor = CheckedExecutor::new(Box::new(SoftwareScans));
+    let plus = executor.checked_plus_scan(&a).expect("plus scan rejected");
+    let max = executor.checked_max_scan(&a).expect("max scan rejected");
+    assert_eq!(plus, plus_ref, "pooled +-scan corrupted");
+    assert_eq!(max, max_ref, "pooled max-scan corrupted");
+
+    let stats = executor.stats();
+    assert_eq!(stats.scans, 2);
+    assert_eq!(
+        stats.detections, 0,
+        "a correct pooled backend must not trip the checker"
+    );
+    assert_eq!(stats.fallbacks, 0);
+}
+
+#[test]
+fn checked_executor_pooled_across_threshold_sizes() {
+    setup();
+    let executor = CheckedExecutor::new(Box::new(SoftwareScans));
+    for n in [PAR_THRESHOLD - 1, PAR_THRESHOLD, PAR_THRESHOLD + 1] {
+        let a = splitmix(n as u64, n);
+        let got = executor.checked_plus_scan(&a).expect("scan rejected");
+        let mut acc = 0u64;
+        for (i, &x) in a.iter().enumerate() {
+            assert_eq!(got[i], acc, "mismatch at {i} for n={n}");
+            acc = acc.wrapping_add(x);
+        }
+    }
+    assert_eq!(executor.stats().detections, 0);
+}
