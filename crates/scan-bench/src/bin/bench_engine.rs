@@ -15,6 +15,12 @@
 //!   cargo run --release -p scan-bench --bin bench_engine
 //!   cargo run --release -p scan-bench --bin bench_engine -- --smoke
 //!   cargo run --release -p scan-bench --bin bench_engine -- --out path.json
+//!   cargo run --release -p scan-bench --bin bench_engine -- --smoke --chaos
+//!
+//! `--chaos` appends a resilience smoke section: the fallible kernels
+//! run under seeded delay/panic injection (see `scan_fault::ChaosPlan`)
+//! with per-scenario timings, equality checks on every `Ok`, and a
+//! watchdog proving nothing hangs.
 
 use scan_algorithms::sort::radix::split_radix_sort;
 use scan_bench::random_keys;
@@ -119,9 +125,118 @@ fn sort_sizes(smoke: bool) -> Vec<usize> {
     }
 }
 
+/// The `--chaos` resilience smoke: seeded injection of delays and
+/// panics into the fallible kernels. Each scenario is timed, watched
+/// by a wall-clock watchdog (no hang), and every `Ok` is checked for
+/// exact equality with the reference scan.
+fn run_chaos(smoke: bool) {
+    use scan_core::{ExecError, ScanDeadline};
+    use scan_fault::{chaos_op, ChaosPlan};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    let sizes: Vec<usize> = if smoke {
+        vec![(1 << 14) + 1]
+    } else {
+        vec![1 << 16, 1 << 18]
+    };
+    println!("\nchaos smoke: seeded delay/panic injection over the try_* kernels");
+    println!("(injected worker panics print their unwind messages below — that is the scenario, not a failure)");
+    println!("{:>10} {:>16} {:>14} {:>20}", "n", "scenario", "ns", "outcome");
+    for n in sizes {
+        let a = random_keys(n, 32, 0xC4A05);
+        let expect = scan::<Sum, _>(&a);
+        let cases: Vec<(&str, ChaosPlan, Option<u64>)> = vec![
+            ("quiet", ChaosPlan::quiet(1), None),
+            (
+                "sparse-delay",
+                ChaosPlan {
+                    seed: 2,
+                    delay_every: 4096,
+                    delay_us: 50,
+                    panic_every: 0,
+                    lie_every: 0,
+                },
+                None,
+            ),
+            (
+                "delay+deadline",
+                ChaosPlan {
+                    seed: 3,
+                    delay_every: 64,
+                    delay_us: 100,
+                    panic_every: 0,
+                    lie_every: 0,
+                },
+                Some(2),
+            ),
+            (
+                "worker-panic",
+                ChaosPlan {
+                    seed: 4,
+                    delay_every: 0,
+                    delay_us: 0,
+                    panic_every: 5000,
+                    lie_every: 0,
+                },
+                None,
+            ),
+        ];
+        for (name, plan, deadline_ms) in cases {
+            let (tx, rx) = mpsc::channel();
+            let a2 = a.clone();
+            let handle = std::thread::spawn(move || {
+                let body = || {
+                    parallel::try_exclusive_scan_by(&a2, 0u64, chaos_op(plan, u64::wrapping_add))
+                };
+                let t = Instant::now();
+                let got = match deadline_ms {
+                    Some(ms) => {
+                        let d = ScanDeadline::after(Duration::from_millis(ms));
+                        scan_core::deadline::with_deadline(&d, body)
+                    }
+                    None => body(),
+                };
+                let _ = tx.send((t.elapsed().as_nanos(), got));
+            });
+            let (ns, got) = rx
+                .recv_timeout(Duration::from_secs(60))
+                .expect("chaos scenario hung");
+            let _ = handle.join();
+            let outcome = match &got {
+                Ok(out) => {
+                    assert_eq!(out, &expect, "chaos Ok disagrees at n={n} ({name})");
+                    "ok (verified)".to_string()
+                }
+                Err(e) => e.to_string(),
+            };
+            match name {
+                "quiet" | "sparse-delay" => {
+                    assert!(got.is_ok(), "{name} must succeed, got {got:?}")
+                }
+                "delay+deadline" => assert_eq!(
+                    got.as_ref().err(),
+                    Some(&ExecError::DeadlineExceeded),
+                    "delays past the deadline must surface as typed expiry"
+                ),
+                _ => assert!(
+                    matches!(got, Err(ExecError::WorkerLost { .. })),
+                    "an injected panic must surface as WorkerLost, got {got:?}"
+                ),
+            }
+            println!("{n:>10} {name:>16} {ns:>14} {outcome:>20}");
+        }
+        // The pool survived every scenario: a clean pooled scan still
+        // agrees with the reference.
+        assert_eq!(scan::<Sum, _>(&a), expect, "pool unusable after chaos at n={n}");
+    }
+    println!("chaos smoke passed: every scenario terminated with a verified result or a typed error");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
@@ -222,6 +337,10 @@ fn main() {
             r.new_ns,
             r.speedup()
         );
+    }
+
+    if chaos {
+        run_chaos(smoke);
     }
 
     if smoke {

@@ -51,6 +51,32 @@ impl CircuitBackend {
         self.m_bits
     }
 
+    /// Health probe for supervised executors: run two tiny known scans
+    /// through the circuit and verify them against the paper's expected
+    /// outputs. `true` means the scan unit answered correctly; a
+    /// quarantined backend can be re-probed with this before being
+    /// re-admitted to a fallback chain.
+    ///
+    /// The probe exercises the real datapath (tree circuit, current
+    /// field width) but costs only two 8-leaf scans, so it is cheap
+    /// enough to call on a supervisor's probation schedule.
+    pub fn self_check(&self) -> bool {
+        let a = [2u64, 1, 2, 3, 5, 8, 13, 21];
+        let mask = if self.m_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.m_bits) - 1
+        };
+        let a: Vec<u64> = a.iter().map(|&x| x & mask).collect();
+        let plus_ok = self.plus_scan(&a)
+            == scan_core::parallel::seq_exclusive_scan_by(&a, 0, |x, y| {
+                x.wrapping_add(y) & mask
+            });
+        let max_ok =
+            self.max_scan(&a) == scan_core::parallel::seq_exclusive_scan_by(&a, 0, u64::max);
+        plus_ok && max_ok
+    }
+
     fn run(&self, op: OpKind, a: &[u64]) -> Vec<u64> {
         if a.is_empty() {
             return Vec::new();
@@ -129,6 +155,19 @@ mod tests {
         b.plus_scan(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
         b.plus_scan(&[1]);
         assert_eq!(b.scans(), 3);
+    }
+
+    #[test]
+    fn self_check_passes_on_a_healthy_backend() {
+        for m_bits in [1, 8, 16, 64] {
+            let b = CircuitBackend::new(m_bits);
+            assert!(b.self_check(), "m_bits={m_bits}");
+        }
+        // The probe uses the real datapath, so it is counted like any
+        // other scan.
+        let b = CircuitBackend::new(16);
+        assert!(b.self_check());
+        assert_eq!(b.scans(), 2);
     }
 
     #[test]

@@ -163,6 +163,24 @@ impl ButterflyRouter {
         }
     }
 
+    /// Health probe for supervised executors: route the identity
+    /// permutation and verify that every output received its own row's
+    /// packet in exactly `stages` switch cycles with no queueing. The
+    /// identity pattern is contention-free on a butterfly, so any
+    /// deviation means the switch fabric (or its simulation) is
+    /// misrouting or stalling.
+    pub fn self_check(&self) -> bool {
+        let dests: Vec<usize> = (0..self.n).collect();
+        let run = self.route(&dests);
+        run.switch_cycles == self.stages as u64
+            && run.max_queue <= 1
+            && run
+                .received_from
+                .iter()
+                .enumerate()
+                .all(|(out, &src)| src == out)
+    }
+
     /// Bit cycles for one full memory-reference round of `m`-bit values
     /// under the routing pattern `dests` — request only (a write); a
     /// read doubles it (request + reply).
@@ -268,6 +286,13 @@ mod tests {
         assert_eq!(run.switch_cycles, 3);
         let idle = r.route(&[usize::MAX; 8]);
         assert_eq!(idle.switch_cycles, 0);
+    }
+
+    #[test]
+    fn self_check_passes_on_a_healthy_router() {
+        for n in [2, 8, 64, 256] {
+            assert!(ButterflyRouter::new(n).self_check(), "n={n}");
+        }
     }
 
     #[test]

@@ -71,12 +71,17 @@ pub fn allocate(counts: &[usize]) -> Allocation {
 /// If `values.len() != counts.len()`. See [`try_distribute`] for the
 /// checked form.
 pub fn distribute<T: ScanElem>(values: &[T], counts: &[usize]) -> Vec<T> {
-    try_distribute(values, counts).unwrap_or_else(|e| panic!("distribute length mismatch: {e}"))
+    distribute_impl(values, counts).unwrap_or_else(|e| panic!("distribute length mismatch: {e}"))
 }
 
 /// Checked [`distribute`]: `Err(Error::LengthMismatch)` instead of
-/// panicking.
+/// panicking. Honors the ambient [`crate::deadline`] scope.
 pub fn try_distribute<T: ScanElem>(values: &[T], counts: &[usize]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
+    distribute_impl(values, counts)
+}
+
+fn distribute_impl<T: ScanElem>(values: &[T], counts: &[usize]) -> Result<Vec<T>> {
     if values.len() != counts.len() {
         return Err(Error::LengthMismatch {
             expected: values.len(),

@@ -1,0 +1,257 @@
+//! Cooperative cancellation and deadline tokens for scan execution.
+//!
+//! A [`ScanDeadline`] is a cheap, clonable token carrying two pieces of
+//! state: an explicit *cancel* flag and an optional wall-clock
+//! *deadline*. The fallible execution paths ([`crate::parallel`]'s
+//! `try_*` kernels and the pool's `try_run`) check the token at block
+//! boundaries and between fixed-size strides inside a block, so a
+//! cancelled or expired submission stops doing work promptly and
+//! returns a typed [`ExecError`] instead of running to completion.
+//!
+//! Two properties make the token sound to check from many threads at
+//! once:
+//!
+//! - **Sticky expiry**: the first observer of an elapsed deadline
+//!   latches `deadline_hit`, so every later [`check`](ScanDeadline::check)
+//!   is a single relaxed atomic load — no repeated clock reads, and no
+//!   thread can see "expired" flip back to "live".
+//! - **No thread-local reads on workers**: engine closures capture a
+//!   clone of the token; workers never consult ambient state.
+//!
+//! The thread-local *scope* ([`with_deadline`], [`current`],
+//! [`checkpoint`]) exists so the checked vector operations
+//! (`try_pack`, `try_split`, ...) can honor a caller-installed
+//! deadline without every signature growing a token parameter.
+
+use crate::error::ExecError;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared state behind a [`ScanDeadline`]; all clones observe it.
+#[derive(Debug)]
+struct Inner {
+    /// Explicit cancellation, set by [`ScanDeadline::cancel`].
+    cancelled: AtomicBool,
+    /// Latched "deadline has passed" flag; once set it never clears.
+    deadline_hit: AtomicBool,
+    /// The instant after which the token is expired, if any.
+    deadline: Option<Instant>,
+}
+
+/// A cancellation/deadline token threaded through fallible scan calls.
+///
+/// Clones share state: cancelling any clone cancels them all, and an
+/// elapsed deadline is visible through every clone. Checking is
+/// wait-free (two relaxed loads on the happy path) so tokens can be
+/// consulted inside hot loops at a coarse stride.
+///
+/// ```
+/// use scan_core::deadline::ScanDeadline;
+///
+/// let d = ScanDeadline::manual();
+/// assert!(d.check().is_ok());
+/// d.cancel();
+/// assert!(d.check().is_err());
+/// ```
+#[derive(Clone, Debug)]
+pub struct ScanDeadline {
+    inner: Arc<Inner>,
+}
+
+impl ScanDeadline {
+    fn from_instant(deadline: Option<Instant>) -> Self {
+        ScanDeadline {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                deadline_hit: AtomicBool::new(false),
+                deadline,
+            }),
+        }
+    }
+
+    /// A token that expires `timeout` from now.
+    pub fn after(timeout: Duration) -> Self {
+        Self::from_instant(Instant::now().checked_add(timeout))
+    }
+
+    /// A token that expires at `at`.
+    pub fn at(at: Instant) -> Self {
+        Self::from_instant(Some(at))
+    }
+
+    /// A token with no wall-clock deadline; it only trips when
+    /// [`cancel`](Self::cancel) is called.
+    pub fn manual() -> Self {
+        Self::from_instant(None)
+    }
+
+    /// Cancel the submission guarded by this token (and all clones).
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// True if [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+    }
+
+    /// Time left before expiry; `None` when the token has no deadline.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// True once the deadline has been observed to pass. Latched: the
+    /// first caller that sees the clock past the deadline records it,
+    /// and every later call answers from the flag alone.
+    pub fn is_expired(&self) -> bool {
+        if self.inner.deadline_hit.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.inner.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.inner.deadline_hit.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Check the token: `Ok(())` while live, otherwise the typed
+    /// reason. Cancellation takes precedence over expiry so an
+    /// explicitly cancelled call reports [`ExecError::Cancelled`] even
+    /// if its deadline also passed.
+    pub fn check(&self) -> Result<(), ExecError> {
+        if self.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        if self.is_expired() {
+            return Err(ExecError::DeadlineExceeded);
+        }
+        Ok(())
+    }
+}
+
+thread_local! {
+    /// The deadline installed on this thread by [`with_deadline`].
+    static CURRENT: RefCell<Option<ScanDeadline>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed deadline when a scope ends, even
+/// if the scoped closure panics.
+struct ScopeGuard {
+    prev: Option<ScanDeadline>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+/// Run `f` with `deadline` installed as the calling thread's ambient
+/// deadline. Checked vector operations (`try_pack`, `try_split`, ...)
+/// and the fallible scan entry points observe it via [`checkpoint`] /
+/// [`current`]. Scopes nest; the previous token is restored on exit,
+/// panic included.
+pub fn with_deadline<R>(deadline: &ScanDeadline, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(deadline.clone()));
+    let _guard = ScopeGuard { prev };
+    f()
+}
+
+/// The calling thread's ambient deadline, if one is installed.
+pub fn current() -> Option<ScanDeadline> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Check the ambient deadline, if any. `Ok(())` when none is
+/// installed — code that never opts in pays two TLS reads and nothing
+/// else.
+pub fn checkpoint() -> Result<(), ExecError> {
+    CURRENT.with(|c| match &*c.borrow() {
+        Some(d) => d.check(),
+        None => Ok(()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_token_trips_only_on_cancel() {
+        let d = ScanDeadline::manual();
+        assert!(d.check().is_ok());
+        assert!(d.remaining().is_none());
+        d.cancel();
+        assert_eq!(d.check(), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn clones_share_cancellation() {
+        let d = ScanDeadline::manual();
+        let d2 = d.clone();
+        d2.cancel();
+        assert!(d.is_cancelled());
+    }
+
+    #[test]
+    fn elapsed_deadline_is_latched() {
+        let d = ScanDeadline::at(Instant::now());
+        // First check observes the clock and latches.
+        assert_eq!(d.check(), Err(ExecError::DeadlineExceeded));
+        assert!(d.inner.deadline_hit.load(Ordering::Relaxed));
+        assert_eq!(d.check(), Err(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn future_deadline_is_live() {
+        let d = ScanDeadline::after(Duration::from_secs(3600));
+        assert!(d.check().is_ok());
+        assert!(d.remaining().is_some_and(|r| r > Duration::from_secs(3000)));
+    }
+
+    #[test]
+    fn cancel_wins_over_expiry() {
+        let d = ScanDeadline::at(Instant::now());
+        d.cancel();
+        assert_eq!(d.check(), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert!(current().is_none());
+        let d = ScanDeadline::manual();
+        with_deadline(&d, || {
+            assert!(current().is_some());
+            assert!(checkpoint().is_ok());
+            let inner = ScanDeadline::manual();
+            inner.cancel();
+            with_deadline(&inner, || {
+                assert_eq!(checkpoint(), Err(ExecError::Cancelled));
+            });
+            // Outer token restored after the nested scope.
+            assert!(checkpoint().is_ok());
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_restores_after_panic() {
+        let d = ScanDeadline::manual();
+        let r = std::panic::catch_unwind(|| {
+            with_deadline(&d, || panic!("boom"));
+        });
+        assert!(r.is_err());
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn checkpoint_without_scope_is_ok() {
+        assert!(checkpoint().is_ok());
+    }
+}

@@ -2,6 +2,43 @@
 
 use core::fmt;
 
+/// Execution-layer failures: a submission that could not run to
+/// completion, as opposed to a precondition violation on its inputs.
+///
+/// These are produced by the fallible execution paths — the pool's
+/// `try_run`, the `try_*` scan kernels, and anything routed through a
+/// [`crate::deadline::ScanDeadline`] — and are wrapped into
+/// [`Error::Exec`] at the public API boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// One or more worker tasks panicked. The panic was contained on
+    /// the worker (the pool respawns it); the submission reports this
+    /// typed error instead of replaying the payload.
+    WorkerLost {
+        /// Number of task panics observed within the submission.
+        panics: u32,
+    },
+    /// The submission's deadline elapsed before it finished.
+    DeadlineExceeded,
+    /// The submission was explicitly cancelled via
+    /// [`crate::deadline::ScanDeadline::cancel`].
+    Cancelled,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::WorkerLost { panics } => {
+                write!(f, "worker lost: {panics} task panic(s) contained")
+            }
+            ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ExecError::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Errors reported by checked vector operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Error {
@@ -50,6 +87,14 @@ pub enum Error {
         /// The count they actually produced.
         actual: usize,
     },
+    /// The execution layer failed (worker panic, deadline, cancel).
+    Exec(ExecError),
+}
+
+impl From<ExecError> for Error {
+    fn from(e: ExecError) -> Self {
+        Error::Exec(e)
+    }
 }
 
 impl fmt::Display for Error {
@@ -79,6 +124,7 @@ impl fmt::Display for Error {
             Error::CountMismatch { expected, actual } => {
                 write!(f, "flag count mismatch: expected {expected}, got {actual}")
             }
+            Error::Exec(e) => write!(f, "execution failed: {e}"),
         }
     }
 }
@@ -115,5 +161,17 @@ mod tests {
             actual: 2,
         };
         assert_eq!(e.to_string(), "flag count mismatch: expected 3, got 2");
+        let e = Error::Exec(ExecError::DeadlineExceeded);
+        assert_eq!(e.to_string(), "execution failed: deadline exceeded");
+        let e = Error::Exec(ExecError::WorkerLost { panics: 2 });
+        assert!(e.to_string().contains("2 task panic"));
+        let e = Error::Exec(ExecError::Cancelled);
+        assert_eq!(e.to_string(), "execution failed: cancelled");
+    }
+
+    #[test]
+    fn exec_error_converts_into_error() {
+        let e: Error = ExecError::Cancelled.into();
+        assert_eq!(e, Error::Exec(ExecError::Cancelled));
     }
 }

@@ -45,6 +45,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod allocate;
+pub mod deadline;
 pub mod element;
 pub mod error;
 pub mod op;
@@ -58,13 +59,16 @@ pub mod simulate;
 pub mod vector;
 
 pub use allocate::{allocate, distribute, try_distribute, Allocation};
+pub use deadline::ScanDeadline;
 pub use element::ScanElem;
-pub use error::{Error, Result};
+pub use error::{Error, ExecError, Result};
 pub use op::{And, Max, Min, Or, Prod, ScanOp, Sum};
 pub use scan::{
     inclusive_scan, inclusive_scan_backward, reduce, scan, scan_backward, scan_with_total,
+    try_inclusive_scan, try_inclusive_scan_backward, try_reduce, try_scan, try_scan_backward,
+    try_scan_with_total,
 };
-pub use segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, Segments};
+pub use segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, try_seg_scan, Segments};
 
 /// Convenience prelude: `use scan_core::prelude::*;`
 pub mod prelude {
@@ -75,10 +79,15 @@ pub mod prelude {
         split3, split_count, try_copy_first, try_flag_merge, try_gather, try_pack, try_permute,
         try_select, try_split, try_split3, try_split_count,
     };
+    pub use crate::deadline::{with_deadline, ScanDeadline};
     pub use crate::scan::{
         inclusive_scan, inclusive_scan_backward, reduce, scan, scan_backward, scan_with_total,
+        try_inclusive_scan, try_inclusive_scan_backward, try_reduce, try_scan, try_scan_backward,
+        try_scan_with_total,
     };
-    pub use crate::segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, Segments};
+    pub use crate::segmented::{
+        seg_inclusive_scan, seg_scan, seg_scan_backward, try_seg_scan, Segments,
+    };
     pub use crate::segops::{
         seg_copy, seg_distribute, seg_enumerate, seg_reduce, seg_split, seg_split3, try_seg_copy,
         try_seg_distribute, try_seg_reduce, try_seg_split, try_seg_split3,

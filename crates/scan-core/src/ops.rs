@@ -47,16 +47,21 @@ pub fn count(flags: &[bool]) -> usize {
 /// # Panics
 /// If `a` is empty. See [`try_copy_first`] for the checked form.
 pub fn copy_first<T: ScanElem>(a: &[T]) -> Vec<T> {
-    try_copy_first(a).unwrap_or_else(|e| panic!("{e}"))
+    copy_first_impl(a).unwrap_or_else(|e| panic!("{e}"))
 }
 
-/// Checked [`copy_first`]: `Err(Error::EmptyInput)` on an empty vector
-/// instead of panicking.
-pub fn try_copy_first<T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+fn copy_first_impl<T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
     match a.first() {
         Some(&head) => Ok(vec![head; a.len()]),
         None => Err(Error::EmptyInput { op: "copy" }),
     }
+}
+
+/// Checked [`copy_first`]: `Err(Error::EmptyInput)` on an empty vector
+/// instead of panicking. Honors the ambient [`crate::deadline`] scope.
+pub fn try_copy_first<T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
+    copy_first_impl(a)
 }
 
 /// `⊕-distribute` (Figure 1): every element receives the reduction of
@@ -81,6 +86,11 @@ pub fn distribute_op<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 /// This is the checked version; see [`permute_unchecked`] for the
 /// fast path used inside the algorithms once indices are known-valid.
 pub fn try_permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
+    permute_impl(a, indices)
+}
+
+fn permute_impl<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
     if a.len() != indices.len() {
         return Err(Error::LengthMismatch {
             expected: a.len(),
@@ -116,7 +126,7 @@ pub fn try_permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
 /// # Panics
 /// On length mismatch, out-of-range index, or duplicate index.
 pub fn permute<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
-    try_permute(a, indices).unwrap_or_else(|e| panic!("invalid permute: {e}"))
+    permute_impl(a, indices).unwrap_or_else(|e| panic!("invalid permute: {e}"))
 }
 
 /// Scatter without the permutation check: `out[indices[i]] = a[i]`.
@@ -169,6 +179,7 @@ pub fn gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Vec<T> {
 /// Checked [`gather`]: `Err(Error::IndexOutOfBounds)` on a bad index
 /// instead of panicking.
 pub fn try_gather<T: ScanElem>(a: &[T], indices: &[usize]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
     indices
         .iter()
         .map(|&ix| {
@@ -206,6 +217,7 @@ pub fn try_split<T: ScanElem>(a: &[T], flags: &[bool]) -> Result<Vec<T>> {
 /// Checked [`split_count`]: `Err(Error::LengthMismatch)` instead of
 /// panicking.
 pub fn try_split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> Result<(Vec<T>, usize)> {
+    crate::deadline::checkpoint()?;
     if a.len() != flags.len() {
         return Err(Error::LengthMismatch {
             expected: a.len(),
@@ -268,6 +280,7 @@ pub enum Bucket {
 /// Checked [`split3`]: `Err(Error::LengthMismatch)` instead of
 /// panicking.
 pub fn try_split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> Result<(Vec<T>, usize, usize)> {
+    crate::deadline::checkpoint()?;
     if a.len() != buckets.len() {
         return Err(Error::LengthMismatch {
             expected: a.len(),
@@ -336,6 +349,7 @@ pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
 
 /// Checked [`pack`]: `Err(Error::LengthMismatch)` instead of panicking.
 pub fn try_pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
     if a.len() != keep.len() {
         return Err(Error::LengthMismatch {
             expected: a.len(),
@@ -365,7 +379,7 @@ pub fn pack_indices(keep: &[bool]) -> Vec<usize> {
 /// match the vector lengths. See [`try_flag_merge`] for the checked
 /// form.
 pub fn flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Vec<T> {
-    try_flag_merge(flags, a, b).unwrap_or_else(|e| match e {
+    flag_merge_impl(flags, a, b).unwrap_or_else(|e| match e {
         Error::CountMismatch { .. } => panic!("flag_merge: true-count must equal b.len()"),
         e => panic!("flag_merge length mismatch: {e}"),
     })
@@ -375,6 +389,11 @@ pub fn flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Vec<T> {
 /// `flags.len() != a.len() + b.len()` and `Err(Error::CountMismatch)`
 /// when the true-count of `flags` is not `b.len()`.
 pub fn try_flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
+    flag_merge_impl(flags, a, b)
+}
+
+fn flag_merge_impl<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<Vec<T>> {
     if flags.len() != a.len() + b.len() {
         return Err(Error::LengthMismatch {
             expected: a.len() + b.len(),
@@ -405,12 +424,17 @@ pub fn try_flag_merge<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<V
 /// # Panics
 /// If lengths differ. See [`try_select`] for the checked form.
 pub fn select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Vec<T> {
-    try_select(flags, t, e).unwrap_or_else(|e| panic!("select length mismatch: {e}"))
+    select_impl(flags, t, e).unwrap_or_else(|e| panic!("select length mismatch: {e}"))
 }
 
 /// Checked [`select`]: `Err(Error::LengthMismatch)` instead of
-/// panicking.
+/// panicking. Honors the ambient [`crate::deadline`] scope.
 pub fn try_select<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Result<Vec<T>> {
+    crate::deadline::checkpoint()?;
+    select_impl(flags, t, e)
+}
+
+fn select_impl<T: ScanElem>(flags: &[bool], t: &[T], e: &[T]) -> Result<Vec<T>> {
     if flags.len() != t.len() {
         return Err(Error::LengthMismatch {
             expected: flags.len(),

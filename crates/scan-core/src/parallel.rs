@@ -35,7 +35,10 @@
 //! they reassociate the operator identically and produce bit-identical
 //! results even for non-associative operators like float addition.
 
+use crate::deadline::ScanDeadline;
+use crate::error::ExecError;
 use crate::pool;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Inputs shorter than this are scanned sequentially; the extra pass
@@ -46,6 +49,12 @@ pub const PAR_THRESHOLD: usize = 1 << 14;
 /// Smallest block worth handing to a worker (amortizes the handoff and
 /// the second pass).
 const MIN_BLOCK: usize = PAR_THRESHOLD / 4;
+
+/// Elements processed between cancellation checks inside a block on the
+/// fallible (`try_*`) paths. Coarse enough that the check (two relaxed
+/// atomic loads once an expiry is latched) vanishes in the combine
+/// work, fine enough that a cancel is observed in microseconds.
+const CANCEL_STRIDE: usize = 4096;
 
 /// How the blocked engine executes its blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -462,6 +471,382 @@ where
     out
 }
 
+/// Check an optional deadline token.
+fn check(d: Option<&ScanDeadline>) -> Result<(), ExecError> {
+    match d {
+        Some(d) => d.check(),
+        None => Ok(()),
+    }
+}
+
+/// Fallible [`run_blocks`]: typed errors instead of replayed panics.
+///
+/// Under [`Schedule::Pooled`] this is the pool's supervised `try_run`
+/// (panic containment + watchdog). The other schedules contain panics
+/// locally so no schedule lets an operator panic cross this boundary.
+fn try_run_blocks<F: Fn(usize) + Sync>(
+    sched: Schedule,
+    nblocks: usize,
+    deadline: Option<&ScanDeadline>,
+    task: F,
+) -> Result<(), ExecError> {
+    match sched {
+        Schedule::Pooled => pool::global().try_run(nblocks, deadline, task),
+        Schedule::Spawn => {
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                std::thread::scope(|s| {
+                    for b in 0..nblocks {
+                        let task = &task;
+                        s.spawn(move || task(b));
+                    }
+                });
+            }));
+            if r.is_err() {
+                return Err(ExecError::WorkerLost { panics: 1 });
+            }
+            check(deadline)
+        }
+        Schedule::Sequential => {
+            let mut panics = 0u32;
+            for b in 0..nblocks {
+                if check(deadline).is_err() {
+                    break;
+                }
+                if catch_unwind(AssertUnwindSafe(|| task(b))).is_err() {
+                    panics += 1;
+                }
+            }
+            if panics > 0 {
+                return Err(ExecError::WorkerLost { panics });
+            }
+            check(deadline)
+        }
+    }
+}
+
+/// Fallible sequential fused scan: [`seq_engine`] with a deadline check
+/// every [`CANCEL_STRIDE`] elements. Same traversal, same association.
+fn try_seq_engine<S, U, L, F, E>(
+    n: usize,
+    load: &L,
+    identity: S,
+    f: &F,
+    emit: &E,
+    mode: Mode,
+    d: Option<&ScanDeadline>,
+) -> Result<(Vec<U>, S), ExecError>
+where
+    S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+    E: Fn(usize, S) -> U,
+{
+    check(d)?;
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let mut acc = identity;
+    if mode.backward() {
+        {
+            let spare = out.spare_capacity_mut();
+            let mut hi = n;
+            while hi > 0 {
+                let lo = hi.saturating_sub(CANCEL_STRIDE);
+                for i in (lo..hi).rev() {
+                    let x = load(i);
+                    if mode.inclusive() {
+                        acc = f(acc, x);
+                        spare[i].write(emit(i, acc));
+                    } else {
+                        spare[i].write(emit(i, acc));
+                        acc = f(acc, x);
+                    }
+                }
+                hi = lo;
+                if hi > 0 {
+                    check(d)?;
+                }
+            }
+        }
+        // Safety: the loop above wrote every index in `0..n` (an early
+        // deadline return leaves `out` at length 0, which is fine).
+        unsafe { out.set_len(n) };
+    } else {
+        let mut lo = 0usize;
+        while lo < n {
+            let hi = (lo + CANCEL_STRIDE).min(n);
+            for i in lo..hi {
+                let x = load(i);
+                if mode.inclusive() {
+                    acc = f(acc, x);
+                    out.push(emit(i, acc));
+                } else {
+                    out.push(emit(i, acc));
+                    acc = f(acc, x);
+                }
+            }
+            lo = hi;
+            if lo < n {
+                check(d)?;
+            }
+        }
+    }
+    Ok((out, acc))
+}
+
+/// Fallible blocked scan engine: the same block plan, traversal order
+/// and operator association as [`engine`] (results are bit-identical),
+/// but cooperative and contained:
+///
+/// - the deadline token is checked between blocks and every
+///   [`CANCEL_STRIDE`] elements inside a block; a tripped token makes
+///   every remaining stride bail early (the token's expiry latch makes
+///   the post-phase check authoritative, so a bailed block's garbage
+///   partial is never used);
+/// - a panicking operator (or load/emit closure) is contained and
+///   surfaces as [`ExecError::WorkerLost`] — nothing unwinds out of
+///   this function.
+///
+/// The happy path of the *infallible* [`engine`] is untouched by all of
+/// this; callers that do not opt into `try_*` pay nothing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_engine<S, U, L, F, E>(
+    sched: Schedule,
+    n: usize,
+    load: L,
+    identity: S,
+    f: F,
+    emit: E,
+    mode: Mode,
+    deadline: Option<&ScanDeadline>,
+) -> Result<(Vec<U>, S), ExecError>
+where
+    S: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    L: Fn(usize) -> S + Sync,
+    F: Fn(S, S) -> S + Sync,
+    E: Fn(usize, S) -> U + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| {
+        try_engine_inner(sched, n, &load, identity, &f, &emit, mode, deadline)
+    })) {
+        Ok(r) => r,
+        Err(_) => Err(ExecError::WorkerLost { panics: 1 }),
+    }
+}
+
+/// [`try_engine`] body; panics escaping it are mapped by the wrapper.
+#[allow(clippy::too_many_arguments)]
+fn try_engine_inner<S, U, L, F, E>(
+    sched: Schedule,
+    n: usize,
+    load: &L,
+    identity: S,
+    f: &F,
+    emit: &E,
+    mode: Mode,
+    d: Option<&ScanDeadline>,
+) -> Result<(Vec<U>, S), ExecError>
+where
+    S: Copy + Send + Sync,
+    U: Copy + Send + Sync,
+    L: Fn(usize) -> S + Sync,
+    F: Fn(S, S) -> S + Sync,
+    E: Fn(usize, S) -> U + Sync,
+{
+    check(d)?;
+    if !go_parallel(sched, n) {
+        return try_seq_engine(n, load, identity, f, emit, mode, d);
+    }
+    let nblocks = plan_blocks(n, engine_width(sched));
+    if nblocks <= 1 {
+        return try_seq_engine(n, load, identity, f, emit, mode, d);
+    }
+
+    // Up sweep, as in `engine`, with per-stride bail-out.
+    let mut partials = vec![identity; nblocks];
+    {
+        let p = SendPtr(partials.as_mut_ptr());
+        try_run_blocks(sched, nblocks, d, move |b| {
+            let r = block_range(n, nblocks, b);
+            let mut acc = identity;
+            let mut bailed = false;
+            if mode.backward() {
+                let mut hi = r.end;
+                while hi > r.start && !bailed {
+                    let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
+                    for i in (lo..hi).rev() {
+                        acc = f(acc, load(i));
+                    }
+                    hi = lo;
+                    bailed = hi > r.start && check(d).is_err();
+                }
+            } else {
+                let mut lo = r.start;
+                while lo < r.end && !bailed {
+                    let hi = (lo + CANCEL_STRIDE).min(r.end);
+                    for i in lo..hi {
+                        acc = f(acc, load(i));
+                    }
+                    lo = hi;
+                    bailed = lo < r.end && check(d).is_err();
+                }
+            }
+            // A bailed block writes a garbage partial; the post-phase
+            // deadline check below discards the whole pass.
+            // Safety: task `b` writes only index `b` (see `SendPtr`).
+            unsafe { p.get().add(b).write(acc) };
+        })?;
+    }
+    // Authoritative: any bail above latched the token first.
+    check(d)?;
+
+    // Scan of block sums, identical to `engine`.
+    let mut offsets = partials;
+    let mut acc = identity;
+    if mode.backward() {
+        for o in offsets.iter_mut().rev() {
+            let x = *o;
+            *o = acc;
+            acc = f(acc, x);
+        }
+    } else {
+        for o in offsets.iter_mut() {
+            let x = *o;
+            *o = acc;
+            acc = f(acc, x);
+        }
+    }
+    let total = acc;
+
+    // Down sweep into uninitialized output, with per-stride bail-out.
+    // On any error the vector is dropped at length 0 — the partially
+    // initialized tail is never exposed (`U: Copy`, nothing to drop).
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    {
+        let o = SendPtr(out.as_mut_ptr());
+        let offsets = &offsets;
+        try_run_blocks(sched, nblocks, d, move |b| {
+            let r = block_range(n, nblocks, b);
+            let mut acc = offsets[b];
+            let mut bailed = false;
+            let emit_range = |lo: usize, hi: usize, acc: &mut S| {
+                if mode.backward() {
+                    for i in (lo..hi).rev() {
+                        let x = load(i);
+                        if mode.inclusive() {
+                            *acc = f(*acc, x);
+                            // Safety: blocks are disjoint and cover
+                            // `0..n`; `set_len` only runs if no block
+                            // bailed (see the deadline check below).
+                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                        } else {
+                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            *acc = f(*acc, x);
+                        }
+                    }
+                } else {
+                    for i in lo..hi {
+                        let x = load(i);
+                        if mode.inclusive() {
+                            *acc = f(*acc, x);
+                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                        } else {
+                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            *acc = f(*acc, x);
+                        }
+                    }
+                }
+            };
+            if mode.backward() {
+                let mut hi = r.end;
+                while hi > r.start && !bailed {
+                    let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
+                    emit_range(lo, hi, &mut acc);
+                    hi = lo;
+                    bailed = hi > r.start && check(d).is_err();
+                }
+            } else {
+                let mut lo = r.start;
+                while lo < r.end && !bailed {
+                    let hi = (lo + CANCEL_STRIDE).min(r.end);
+                    emit_range(lo, hi, &mut acc);
+                    lo = hi;
+                    bailed = lo < r.end && check(d).is_err();
+                }
+            }
+        })?;
+    }
+    // Authoritative for the down sweep: a bailed block means the token
+    // is latched, so we never `set_len` over uninitialized slots.
+    check(d)?;
+    // Safety: every index in `0..n` was initialized by exactly one block.
+    unsafe { out.set_len(n) };
+    Ok((out, total))
+}
+
+/// Fallible blocked reduction; see [`try_engine`] for the failure
+/// contract.
+pub(crate) fn try_reduce_engine<S, L, F>(
+    sched: Schedule,
+    n: usize,
+    load: L,
+    identity: S,
+    f: F,
+    d: Option<&ScanDeadline>,
+) -> Result<S, ExecError>
+where
+    S: Copy + Send + Sync,
+    L: Fn(usize) -> S + Sync,
+    F: Fn(S, S) -> S + Sync,
+{
+    match catch_unwind(AssertUnwindSafe(|| {
+        check(d)?;
+        if !go_parallel(sched, n) {
+            let mut acc = identity;
+            let mut lo = 0usize;
+            while lo < n {
+                let hi = (lo + CANCEL_STRIDE).min(n);
+                for i in lo..hi {
+                    acc = f(acc, load(i));
+                }
+                lo = hi;
+                if lo < n {
+                    check(d)?;
+                }
+            }
+            return Ok(acc);
+        }
+        let nblocks = plan_blocks(n, engine_width(sched));
+        let mut partials = vec![identity; nblocks];
+        {
+            let p = SendPtr(partials.as_mut_ptr());
+            let load = &load;
+            let f = &f;
+            try_run_blocks(sched, nblocks, d, move |b| {
+                let r = block_range(n, nblocks, b);
+                let mut acc = identity;
+                let mut lo = r.start;
+                let mut bailed = false;
+                while lo < r.end && !bailed {
+                    let hi = (lo + CANCEL_STRIDE).min(r.end);
+                    for i in lo..hi {
+                        acc = f(acc, load(i));
+                    }
+                    lo = hi;
+                    bailed = lo < r.end && check(d).is_err();
+                }
+                // Safety: task `b` writes only index `b`.
+                unsafe { p.get().add(b).write(acc) };
+            })?;
+        }
+        // A bailed block left a garbage partial; the latch catches it.
+        check(d)?;
+        Ok(seq_reduce_by(&partials, identity, &f))
+    })) {
+        Ok(r) => r,
+        Err(_) => Err(ExecError::WorkerLost { panics: 1 }),
+    }
+}
+
 /// Exclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
 ///
 /// `f` must be associative with identity `identity`; the blocked schedule
@@ -537,6 +922,151 @@ where
     F: Fn(T, T) -> T + Sync,
 {
     engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::InclusiveBwd).0
+}
+
+/// Fallible [`exclusive_scan_by`]: identical result on success, but
+/// cooperative and contained — the ambient [`crate::deadline`] scope
+/// (if any) is honored at block boundaries and every [`CANCEL_STRIDE`]
+/// elements, and a panicking operator becomes
+/// [`ExecError::WorkerLost`] instead of unwinding into the caller.
+pub fn try_exclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Result<Vec<T>, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    try_exclusive_scan_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`try_exclusive_scan_by`] under an explicit [`Schedule`].
+pub fn try_exclusive_scan_by_sched<T, F>(
+    sched: Schedule,
+    a: &[T],
+    identity: T,
+    f: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveFwd, d.as_ref())
+        .map(|r| r.0)
+}
+
+/// Fallible [`inclusive_scan_by`]; see [`try_exclusive_scan_by`] for
+/// the failure contract.
+pub fn try_inclusive_scan_by<T, F>(a: &[T], identity: T, f: F) -> Result<Vec<T>, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_engine(
+        default_schedule(),
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::InclusiveFwd,
+        d.as_ref(),
+    )
+    .map(|r| r.0)
+}
+
+/// Fallible [`exclusive_scan_backward_by`]; see
+/// [`try_exclusive_scan_by`] for the failure contract.
+pub fn try_exclusive_scan_backward_by<T, F>(
+    a: &[T],
+    identity: T,
+    f: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_engine(
+        default_schedule(),
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveBwd,
+        d.as_ref(),
+    )
+    .map(|r| r.0)
+}
+
+/// Fallible [`inclusive_scan_backward_by`]; see
+/// [`try_exclusive_scan_by`] for the failure contract.
+pub fn try_inclusive_scan_backward_by<T, F>(
+    a: &[T],
+    identity: T,
+    f: F,
+) -> Result<Vec<T>, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_engine(
+        default_schedule(),
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::InclusiveBwd,
+        d.as_ref(),
+    )
+    .map(|r| r.0)
+}
+
+/// Fallible [`scan_with_total_by`]; see [`try_exclusive_scan_by`] for
+/// the failure contract.
+pub fn try_scan_with_total_by<T, F>(a: &[T], identity: T, f: F) -> Result<(Vec<T>, T), ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_engine(
+        default_schedule(),
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+        d.as_ref(),
+    )
+}
+
+/// Fallible [`reduce_by`]; see [`try_exclusive_scan_by`] for the
+/// failure contract.
+pub fn try_reduce_by<T, F>(a: &[T], identity: T, f: F) -> Result<T, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    try_reduce_by_sched(default_schedule(), a, identity, f)
+}
+
+/// [`try_reduce_by`] under an explicit [`Schedule`].
+pub fn try_reduce_by_sched<T, F>(
+    sched: Schedule,
+    a: &[T],
+    identity: T,
+    f: F,
+) -> Result<T, ExecError>
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    let d = crate::deadline::current();
+    try_reduce_engine(sched, a.len(), |i| a[i], identity, f, d.as_ref())
 }
 
 /// Exclusive scan that also returns the total reduction, in one pass
@@ -899,4 +1429,122 @@ mod tests {
         set_default_schedule(Schedule::Pooled);
         assert_eq!(default_schedule(), Schedule::Pooled);
     }
+
+    #[test]
+    fn try_scans_match_infallible_on_the_happy_path() {
+        let n = PAR_THRESHOLD * 2 + 13;
+        let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            assert_eq!(
+                try_exclusive_scan_by_sched(sched, &a, 0, u64::wrapping_add).unwrap(),
+                exclusive_scan_by_sched(sched, &a, 0, u64::wrapping_add),
+                "sched {sched:?}"
+            );
+        }
+        assert_eq!(
+            try_inclusive_scan_by(&a, 0, u64::wrapping_add).unwrap(),
+            inclusive_scan_by(&a, 0, u64::wrapping_add)
+        );
+        assert_eq!(
+            try_exclusive_scan_backward_by(&a, 0, u64::wrapping_add).unwrap(),
+            exclusive_scan_backward_by(&a, 0, u64::wrapping_add)
+        );
+        assert_eq!(
+            try_inclusive_scan_backward_by(&a, 0, u64::wrapping_add).unwrap(),
+            inclusive_scan_backward_by(&a, 0, u64::wrapping_add)
+        );
+        let (s, t) = try_scan_with_total_by(&a, 0, u64::wrapping_add).unwrap();
+        let (es, et) = scan_with_total_by(&a, 0, u64::wrapping_add);
+        assert_eq!((s, t), (es, et));
+        assert_eq!(
+            try_reduce_by(&a, 0, u64::wrapping_add).unwrap(),
+            reduce_by(&a, 0, u64::wrapping_add)
+        );
+    }
+
+    #[test]
+    fn try_scan_under_live_deadline_succeeds() {
+        let n = PAR_THRESHOLD + 5;
+        let a: Vec<u64> = (0..n as u64).collect();
+        let d = ScanDeadline::after(std::time::Duration::from_secs(60));
+        let got = crate::deadline::with_deadline(&d, || try_exclusive_scan_by(&a, 0, |x, y| x + y));
+        assert_eq!(got.unwrap(), exclusive_scan_by(&a, 0, |x, y| x + y));
+    }
+
+    #[test]
+    fn try_scan_with_expired_deadline_is_typed() {
+        let a: Vec<u64> = (0..(PAR_THRESHOLD as u64 * 2)).collect();
+        let d = ScanDeadline::at(std::time::Instant::now());
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            let got = crate::deadline::with_deadline(&d, || {
+                try_exclusive_scan_by_sched(sched, &a, 0, |x, y| x + y)
+            });
+            assert_eq!(got, Err(ExecError::DeadlineExceeded), "sched {sched:?}");
+        }
+        let got = crate::deadline::with_deadline(&d, || try_reduce_by(&a, 0, |x, y| x + y));
+        assert_eq!(got, Err(ExecError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn try_scan_observes_mid_flight_cancellation() {
+        // The load closure cancels the token partway through the up
+        // sweep: deterministic mid-flight cancellation with no timing.
+        let n = PAR_THRESHOLD * 4;
+        let a: Vec<u64> = (0..n as u64).collect();
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            let d = ScanDeadline::manual();
+            let seen = AtomicUsize::new(0);
+            let got = crate::deadline::with_deadline(&d, || {
+                let d = &d;
+                let seen = &seen;
+                try_engine(
+                    sched,
+                    n,
+                    |i| {
+                        if seen.fetch_add(1, Ordering::Relaxed) == 3 * CANCEL_STRIDE {
+                            d.cancel();
+                        }
+                        a[i]
+                    },
+                    0u64,
+                    |x, y| x + y,
+                    |_, s| s,
+                    Mode::ExclusiveFwd,
+                    Some(d),
+                )
+            });
+            assert_eq!(got.map(|r| r.1), Err(ExecError::Cancelled), "sched {sched:?}");
+            // The strided bail-out means cancellation stopped the work
+            // well short of the two full passes.
+            assert!(
+                seen.load(Ordering::Relaxed) < 2 * n,
+                "sched {sched:?} did all the work anyway"
+            );
+        }
+    }
+
+    #[test]
+    fn try_scan_contains_operator_panics() {
+        let n = PAR_THRESHOLD * 2;
+        let a: Vec<u64> = (0..n as u64).collect();
+        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            let got = try_exclusive_scan_by_sched(sched, &a, 0, |x, y| {
+                assert!(x + y < 1_000_000, "operator exploded");
+                x + y
+            });
+            assert!(
+                matches!(got, Err(ExecError::WorkerLost { panics }) if panics >= 1),
+                "sched {sched:?}: {got:?}"
+            );
+        }
+        // Small inputs take the sequential path inside try_engine and
+        // must be contained there too.
+        let small: Vec<u64> = (0..100).collect();
+        let got = try_exclusive_scan_by(&small, 0, |_, _| -> u64 { panic!("tiny boom") });
+        assert!(matches!(got, Err(ExecError::WorkerLost { .. })));
+        let got = try_reduce_by(&small, 0, |_, _| -> u64 { panic!("tiny boom") });
+        assert!(matches!(got, Err(ExecError::WorkerLost { .. })));
+    }
+
+    use std::sync::atomic::AtomicUsize;
 }

@@ -23,14 +23,38 @@
 //!   calls deadlock-free by construction.
 //! - **Panic transparency**: a panicking task is caught on the worker,
 //!   carried to the submitter, and resumed there — same observable
-//!   behavior as the scoped-spawn engine it replaces.
+//!   behavior as the scoped-spawn engine it replaces. The fallible
+//!   [`WorkerPool::try_run`] entry point instead *contains* the panic
+//!   and reports a typed [`ExecError::WorkerLost`], so callers opting
+//!   into the resilient API never see a replayed payload.
+//! - **Worker supervision**: a worker thread that somehow unwinds out
+//!   of its loop (tasks are caught individually, but e.g. a panic
+//!   payload whose own `Drop` panics can escape) is replaced by a
+//!   freshly spawned worker, observable via
+//!   [`WorkerPool::respawns`]. The pool never shrinks below its
+//!   configured width because of a panic.
+//! - **Deadlines are cooperative**: [`WorkerPool::try_run`] accepts an
+//!   optional [`ScanDeadline`]; workers re-check it before every task
+//!   claim and a submitter-side watchdog latches expiry while waiting,
+//!   after which unstarted tasks are drained unexecuted. A task that is
+//!   already running is never interrupted — `try_run` must wait for
+//!   in-flight tasks before returning (the task closure is borrowed) —
+//!   so long-running operators should themselves check the token (the
+//!   fallible scan engine does, at a fixed stride).
 
+use crate::deadline::ScanDeadline;
+use crate::error::ExecError;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// Hard cap on the pool width, far above any sane `SCAN_CORE_THREADS`.
 const MAX_THREADS: usize = 512;
+
+/// How often the submitter-side watchdog re-checks a submission's
+/// deadline while waiting for stragglers.
+const WATCHDOG_TICK: Duration = Duration::from_millis(5);
 
 /// Lock a mutex, ignoring poisoning (no task code runs under our locks,
 /// so a poisoned lock still guards consistent data).
@@ -41,6 +65,13 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// Condvar wait with the same poisoning policy as [`lock`].
 fn wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
     cv.wait(g).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded condvar wait with the same poisoning policy as [`lock`].
+fn wait_for<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>, dur: Duration) -> MutexGuard<'a, T> {
+    cv.wait_timeout(g, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+        .0
 }
 
 /// Type-erased pointer to the job's task closure.
@@ -57,8 +88,10 @@ unsafe impl Sync for TaskPtr {}
 /// Completion state of one job.
 #[derive(Default)]
 struct Done {
-    /// Tasks fully executed so far.
+    /// Tasks fully executed (or drained after an abort) so far.
     finished: usize,
+    /// Number of task panics contained within this job.
+    panics: u32,
     /// First panic payload observed, carried back to the submitter.
     panic: Option<Box<dyn std::any::Any + Send>>,
 }
@@ -68,11 +101,24 @@ struct Job {
     task: TaskPtr,
     ntasks: usize,
     next: AtomicUsize,
+    /// Once set, tasks not yet started are claimed and marked finished
+    /// without executing, so the job converges quickly.
+    aborted: AtomicBool,
+    /// Deadline attached to the submission, if any; workers re-check it
+    /// before every claim so an expired job drains without waiting for
+    /// the submitter's watchdog.
+    deadline: Option<ScanDeadline>,
     done: Mutex<Done>,
     done_cv: Condvar,
 }
 
 impl Job {
+    /// True once the job should stop doing real work.
+    fn bailed(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+            || self.deadline.as_ref().is_some_and(|d| d.check().is_err())
+    }
+
     /// Claim and execute tasks until the job is exhausted.
     fn run_tasks(&self) {
         loop {
@@ -80,13 +126,20 @@ impl Job {
             if i >= self.ntasks {
                 return;
             }
-            // Safety: `i < ntasks`, so the submitter is still inside
-            // `run` and the closure is alive (see `TaskPtr`).
-            let task = unsafe { &*self.task.0 };
-            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let result = if self.bailed() {
+                // Drain: count the task finished without running it.
+                Ok(())
+            } else {
+                // Safety: `i < ntasks`, so the submitter is still inside
+                // `run`/`try_run` and the closure is alive (see
+                // `TaskPtr`).
+                let task = unsafe { &*self.task.0 };
+                catch_unwind(AssertUnwindSafe(|| task(i)))
+            };
             let mut done = lock(&self.done);
             done.finished += 1;
             if let Err(payload) = result {
+                done.panics += 1;
                 done.panic.get_or_insert(payload);
             }
             if done.finished == self.ntasks {
@@ -110,6 +163,8 @@ struct Gate {
 struct Shared {
     gate: Mutex<Gate>,
     work_cv: Condvar,
+    /// Workers replaced after an unwind escaped a worker thread.
+    respawns: AtomicUsize,
 }
 
 fn worker_loop(shared: &Shared) {
@@ -133,6 +188,47 @@ fn worker_loop(shared: &Shared) {
         };
         job.run_tasks();
     }
+}
+
+/// Supervision guard held for the lifetime of a worker thread: if the
+/// worker unwinds out of [`worker_loop`] (individual tasks are caught,
+/// but e.g. a panic payload whose `Drop` itself panics can escape the
+/// accounting path), the guard spawns a replacement worker so the pool
+/// keeps its configured width.
+struct Respawn {
+    shared: Arc<Shared>,
+    name: String,
+}
+
+impl Drop for Respawn {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.shared.respawns.fetch_add(1, Ordering::Relaxed);
+            spawn_worker(&self.shared, self.name.clone());
+        }
+    }
+}
+
+/// Body of every worker thread, original or respawned.
+fn worker_body(shared: Arc<Shared>, name: String) {
+    let _guard = Respawn {
+        shared: Arc::clone(&shared),
+        name,
+    };
+    worker_loop(&shared);
+    // Clean shutdown: the guard drops without panicking, so it is inert.
+}
+
+/// Spawn one worker thread. A failed spawn is tolerated — the pool just
+/// runs narrower (and a failed *respawn* leaves the submitter and the
+/// surviving workers to finish jobs, which they always can).
+fn spawn_worker(shared: &Arc<Shared>, name: String) -> Option<std::thread::JoinHandle<()>> {
+    let sh = Arc::clone(shared);
+    let n = name.clone();
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_body(sh, n))
+        .ok()
 }
 
 /// A persistent pool of worker threads executing indexed task batches.
@@ -166,13 +262,12 @@ impl WorkerPool {
         let shared = Arc::new(Shared {
             gate: Mutex::new(Gate::default()),
             work_cv: Condvar::new(),
+            respawns: AtomicUsize::new(0),
         });
         let mut handles = Vec::new();
         for i in 1..want {
-            let shared = Arc::clone(&shared);
-            let builder = std::thread::Builder::new().name(format!("scan-core-{i}"));
             // A failed spawn just narrows the pool; `run` still works.
-            if let Ok(h) = builder.spawn(move || worker_loop(&shared)) {
+            if let Some(h) = spawn_worker(&shared, format!("scan-core-{i}")) {
                 handles.push(h);
             }
         }
@@ -187,6 +282,12 @@ impl WorkerPool {
     /// Number of execution lanes (parked workers + the submitter).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Number of worker threads that have been replaced after a panic
+    /// escaped a worker. Zero in a healthy pool.
+    pub fn respawns(&self) -> usize {
+        self.shared.respawns.load(Ordering::Relaxed)
     }
 
     /// Execute `task(0), task(1), ..., task(ntasks - 1)`, distributing
@@ -222,16 +323,104 @@ impl WorkerPool {
             }
             return;
         };
+        let (_, payload) = self.drive(ntasks, None, &task);
+        if let Some(p) = payload {
+            resume_unwind(p);
+        }
+    }
+
+    /// Fallible variant of [`run`](Self::run): executes the task batch
+    /// under an optional [`ScanDeadline`] and reports failures as typed
+    /// errors instead of panicking.
+    ///
+    /// - A panicking task is contained (its payload is dropped, never
+    ///   replayed) and the whole submission fails with
+    ///   [`ExecError::WorkerLost`] carrying the panic count. Remaining
+    ///   tasks still run, so sibling outputs stay consistent.
+    /// - When `deadline` trips, tasks not yet started are drained
+    ///   unexecuted and the submission fails with
+    ///   [`ExecError::DeadlineExceeded`] (or
+    ///   [`ExecError::Cancelled`]). Cancellation is cooperative: an
+    ///   in-flight task is never interrupted, so `try_run` returns only
+    ///   after every claimed task has yielded.
+    ///
+    /// Panic containment takes precedence: if tasks both panicked and
+    /// overran the deadline, the error is `WorkerLost`.
+    pub fn try_run<F>(
+        &self,
+        ntasks: usize,
+        deadline: Option<&ScanDeadline>,
+        task: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(usize) + Sync,
+    {
+        if let Some(d) = deadline {
+            d.check()?;
+        }
+        if ntasks == 0 {
+            return Ok(());
+        }
+        let inline = |task: &F| -> Result<(), ExecError> {
+            let mut panics = 0u32;
+            for i in 0..ntasks {
+                if deadline.is_some_and(|d| d.check().is_err()) {
+                    break;
+                }
+                if catch_unwind(AssertUnwindSafe(|| task(i))).is_err() {
+                    panics += 1;
+                }
+            }
+            if panics > 0 {
+                return Err(ExecError::WorkerLost { panics });
+            }
+            if let Some(d) = deadline {
+                d.check()?;
+            }
+            Ok(())
+        };
+        if self.threads == 1 || ntasks == 1 {
+            return inline(&task);
+        }
+        let Ok(_submission) = self.submit.try_lock() else {
+            return inline(&task);
+        };
+        let (panics, payload) = self.drive(ntasks, deadline, &task);
+        drop(payload);
+        if panics > 0 {
+            return Err(ExecError::WorkerLost { panics });
+        }
+        if let Some(d) = deadline {
+            d.check()?;
+        }
+        Ok(())
+    }
+
+    /// Post one job, participate, and wait for completion. Returns the
+    /// contained panic count and the first panic payload.
+    ///
+    /// Must be called with the submission lock held. On return the gate
+    /// has been restored to a clean state: the job slot is empty and
+    /// the epoch advanced past the job, so no later submission (or
+    /// late-waking worker) can observe this job again.
+    fn drive(
+        &self,
+        ntasks: usize,
+        deadline: Option<&ScanDeadline>,
+        task: &(dyn Fn(usize) + Sync),
+    ) -> (u32, Option<Box<dyn std::any::Any + Send>>) {
         // Erase the borrow lifetime for the `'static` trait-object field:
-        // `run` blocks until every task finishes, so `task` outlives all
-        // dereferences of the pointer (see `TaskPtr`).
-        let wide: *const (dyn Fn(usize) + Sync + '_) = &task;
+        // `drive` blocks until every task finishes, so `task` outlives
+        // all dereferences of the pointer (see `TaskPtr`).
+        let wide: *const (dyn Fn(usize) + Sync + '_) = task;
         #[allow(clippy::missing_transmute_annotations)]
         let erased: TaskPtr = TaskPtr(unsafe { std::mem::transmute(wide) });
         let job = Arc::new(Job {
             task: erased,
             ntasks,
             next: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            deadline: deadline.cloned(),
             done: Mutex::new(Done::default()),
             done_cv: Condvar::new(),
         });
@@ -241,24 +430,41 @@ impl WorkerPool {
             gate.job = Some(Arc::clone(&job));
             self.shared.work_cv.notify_all();
         }
-        // Participate: the submitter is the pool's extra lane.
-        job.run_tasks();
-        let payload = {
+        // Participate: the submitter is the pool's extra lane. Contain
+        // any unwind that escapes the accounting path (e.g. a panic
+        // payload whose own `Drop` panics) and keep participating —
+        // every attempt claims at least one task, so this terminates,
+        // and it guarantees progress even if every worker died.
+        while catch_unwind(AssertUnwindSafe(|| job.run_tasks())).is_err() {}
+        let (panics, payload) = {
             let mut done = lock(&job.done);
             while done.finished < ntasks {
-                done = wait(&job.done_cv, done);
+                match deadline {
+                    // Watchdog: bounded waits so an expired deadline is
+                    // latched and the job switches to drain mode even
+                    // if no running task ever checks the token.
+                    Some(d) => {
+                        done = wait_for(&job.done_cv, done, WATCHDOG_TICK);
+                        if d.check().is_err() {
+                            job.aborted.store(true, Ordering::Release);
+                        }
+                    }
+                    None => done = wait(&job.done_cv, done),
+                }
             }
-            done.panic.take()
+            (done.panics, done.panic.take())
         };
         {
+            // Leave a clean gate: clear the finished job *and* advance
+            // the epoch, so a worker waking late observes "new epoch,
+            // nothing to do" rather than re-examining a stale job.
             let mut gate = lock(&self.shared.gate);
             if gate.job.as_ref().is_some_and(|j| Arc::ptr_eq(j, &job)) {
                 gate.job = None;
+                gate.epoch = gate.epoch.wrapping_add(1);
             }
         }
-        if let Some(p) = payload {
-            resume_unwind(p);
-        }
+        (panics, payload)
     }
 }
 
@@ -412,5 +618,135 @@ mod tests {
         let b = global() as *const WorkerPool;
         assert_eq!(a, b);
         assert!(global().threads() >= 1);
+    }
+
+    #[test]
+    fn try_run_executes_every_task_once() {
+        let pool = WorkerPool::new(4);
+        let d = ScanDeadline::after(Duration::from_secs(60));
+        for ntasks in [0usize, 1, 7, 64] {
+            let hits: Vec<AtomicUsize> = (0..ntasks).map(|_| AtomicUsize::new(0)).collect();
+            pool.try_run(ntasks, Some(&d), |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap();
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn try_run_contains_panics_as_worker_lost() {
+        let pool = WorkerPool::new(4);
+        let err = pool
+            .try_run(16, None, |i| {
+                assert!(i != 5, "induced task failure");
+            })
+            .unwrap_err();
+        assert!(matches!(err, ExecError::WorkerLost { panics } if panics >= 1));
+        // Regression (satellite): the recovery must leave a clean gate —
+        // no stale job, epoch advanced — and the *next* submission must
+        // behave normally on both the panicking and fallible paths.
+        {
+            let gate = lock(&pool.shared.gate);
+            assert!(gate.job.is_none(), "stale job left in the gate");
+        }
+        let hits = AtomicUsize::new(0);
+        pool.run(32, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        let d = ScanDeadline::after(Duration::from_secs(60));
+        assert!(pool.try_run(8, Some(&d), |_| {}).is_ok());
+    }
+
+    #[test]
+    fn try_run_counts_multiple_panics() {
+        // Width 1 forces the inline path: deterministic panic count.
+        let pool = WorkerPool::new(1);
+        let err = pool
+            .try_run(10, None, |i| {
+                assert!(i % 2 == 0, "odd task failure");
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::WorkerLost { panics: 5 });
+    }
+
+    #[test]
+    fn try_run_expired_deadline_runs_nothing() {
+        let pool = WorkerPool::new(4);
+        let d = ScanDeadline::at(std::time::Instant::now());
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_run(16, Some(&d), |_| {
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::DeadlineExceeded);
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn try_run_deadline_mid_job_drains_and_reports() {
+        let pool = WorkerPool::new(2);
+        let d = ScanDeadline::after(Duration::from_millis(10));
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_run(64, Some(&d), |i| {
+                if i < 2 {
+                    std::thread::sleep(Duration::from_millis(40));
+                }
+                ran.fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::DeadlineExceeded);
+        // The tasks claimed after expiry were drained, not executed.
+        assert!(ran.load(Ordering::Relaxed) < 64);
+        // The pool is reusable afterwards.
+        assert!(pool.try_run(8, None, |_| {}).is_ok());
+    }
+
+    #[test]
+    fn try_run_cancellation_is_typed() {
+        let pool = WorkerPool::new(4);
+        let d = ScanDeadline::manual();
+        d.cancel();
+        assert_eq!(pool.try_run(8, Some(&d), |_| {}), Err(ExecError::Cancelled));
+    }
+
+    #[test]
+    fn gate_is_clean_after_each_job() {
+        let pool = WorkerPool::new(4);
+        let e0 = lock(&pool.shared.gate).epoch;
+        pool.run(8, |_| {});
+        let gate = lock(&pool.shared.gate);
+        assert!(gate.job.is_none());
+        // One bump to post the job, one to retire it.
+        assert_eq!(gate.epoch, e0 + 2);
+    }
+
+    #[test]
+    fn respawn_guard_replaces_a_dead_worker() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.respawns(), 0);
+        let shared = Arc::clone(&pool.shared);
+        let h = std::thread::Builder::new()
+            .spawn(move || {
+                let _guard = Respawn {
+                    shared,
+                    name: "scan-core-doomed".into(),
+                };
+                panic!("induced worker death");
+            })
+            .unwrap();
+        assert!(h.join().is_err());
+        // The guard ran during the unwind: a replacement was spawned
+        // and counted before `join` returned.
+        assert_eq!(pool.respawns(), 1);
+        // The pool (now including the replacement worker) still works.
+        let total = AtomicU64::new(0);
+        pool.run(16, |i| {
+            total.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..16).sum::<u64>());
     }
 }

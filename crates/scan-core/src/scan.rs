@@ -10,6 +10,7 @@
 //! [`crate::parallel`] for large inputs.
 
 use crate::element::ScanElem;
+use crate::error::Result;
 use crate::op::ScanOp;
 use crate::parallel;
 
@@ -63,6 +64,48 @@ pub fn inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 /// Reduction over the whole vector with operator `O`.
 pub fn reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> T {
     parallel::reduce_by(a, O::identity(), O::combine)
+}
+
+/// Fallible [`scan`]: identical result on success, but honors the
+/// ambient [`crate::deadline`] scope and contains operator panics,
+/// reporting failures as [`crate::Error::Exec`]. Use this (with
+/// [`crate::deadline::with_deadline`]) when a scan must not run
+/// longer than a budget.
+pub fn try_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    Ok(parallel::try_exclusive_scan_by(a, O::identity(), O::combine)?)
+}
+
+/// Fallible [`scan_with_total`]; see [`try_scan`].
+pub fn try_scan_with_total<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<(Vec<T>, T)> {
+    Ok(parallel::try_scan_with_total_by(a, O::identity(), O::combine)?)
+}
+
+/// Fallible [`inclusive_scan`]; see [`try_scan`].
+pub fn try_inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    Ok(parallel::try_inclusive_scan_by(a, O::identity(), O::combine)?)
+}
+
+/// Fallible [`scan_backward`]; see [`try_scan`].
+pub fn try_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    Ok(parallel::try_exclusive_scan_backward_by(
+        a,
+        O::identity(),
+        O::combine,
+    )?)
+}
+
+/// Fallible [`inclusive_scan_backward`]; see [`try_scan`].
+pub fn try_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
+    Ok(parallel::try_inclusive_scan_backward_by(
+        a,
+        O::identity(),
+        O::combine,
+    )?)
+}
+
+/// Fallible [`reduce`]; see [`try_scan`].
+pub fn try_reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<T> {
+    Ok(parallel::try_reduce_by(a, O::identity(), O::combine)?)
 }
 
 /// In-place exclusive forward scan (no allocation); sequential.
@@ -152,6 +195,35 @@ mod tests {
         assert_eq!(c.to_vec(), inclusive_scan::<Max, _>(&a));
         let mut empty: [u32; 0] = [];
         scan_inplace::<Sum, _>(&mut empty);
+    }
+
+    #[test]
+    fn try_variants_match_on_success_and_report_expiry() {
+        use crate::deadline::{self, ScanDeadline};
+        use crate::error::{Error, ExecError};
+        let a: Vec<u64> = (0..(crate::parallel::PAR_THRESHOLD as u64 + 3)).collect();
+        assert_eq!(try_scan::<Sum, _>(&a).unwrap(), scan::<Sum, _>(&a));
+        assert_eq!(
+            try_scan_with_total::<Sum, _>(&a).unwrap(),
+            scan_with_total::<Sum, _>(&a)
+        );
+        assert_eq!(
+            try_inclusive_scan::<Max, _>(&a).unwrap(),
+            inclusive_scan::<Max, _>(&a)
+        );
+        assert_eq!(
+            try_scan_backward::<Sum, _>(&a).unwrap(),
+            scan_backward::<Sum, _>(&a)
+        );
+        assert_eq!(
+            try_inclusive_scan_backward::<Sum, _>(&a).unwrap(),
+            inclusive_scan_backward::<Sum, _>(&a)
+        );
+        assert_eq!(try_reduce::<Sum, _>(&a).unwrap(), reduce::<Sum, _>(&a));
+
+        let d = ScanDeadline::at(std::time::Instant::now());
+        let got = deadline::with_deadline(&d, || try_scan::<Sum, _>(&a));
+        assert_eq!(got, Err(Error::Exec(ExecError::DeadlineExceeded)));
     }
 
     #[test]

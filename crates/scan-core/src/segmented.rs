@@ -233,6 +233,34 @@ pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     .0
 }
 
+/// Fallible [`seg_scan`]: checks the length precondition instead of
+/// panicking, honors the ambient [`crate::deadline`] scope, and
+/// contains operator panics — failures surface as
+/// [`crate::Error`] (`LengthMismatch` or `Exec`).
+pub fn try_seg_scan<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    segs: &Segments,
+) -> crate::Result<Vec<T>> {
+    if a.len() != segs.len() {
+        return Err(crate::Error::LengthMismatch {
+            expected: a.len(),
+            actual: segs.len(),
+        });
+    }
+    let d = crate::deadline::current();
+    let (out, _) = parallel::try_engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| (a[i], segs.is_head(i)),
+        (O::identity(), false),
+        seg_combine::<O, T>,
+        |i, s: (T, bool)| if segs.is_head(i) { O::identity() } else { s.0 },
+        parallel::Mode::ExclusiveFwd,
+        d.as_ref(),
+    )?;
+    Ok(out)
+}
+
 /// Inclusive segmented scan.
 ///
 /// # Panics
@@ -432,5 +460,29 @@ mod tests {
     fn mismatched_lengths_panic() {
         let s = Segments::single(3);
         seg_scan::<Sum, _>(&[1u32, 2], &s);
+    }
+
+    #[test]
+    fn try_seg_scan_matches_and_reports_typed_errors() {
+        use crate::deadline::{self, ScanDeadline};
+        use crate::error::{Error, ExecError};
+        let n = crate::parallel::PAR_THRESHOLD + 31;
+        let a: Vec<u64> = (0..n as u64).map(|i| (i * 31) % 1000).collect();
+        let flags: Vec<bool> = (0..n).map(|i| i % 53 == 0).collect();
+        let segs = Segments::from_flags(flags);
+        assert_eq!(
+            try_seg_scan::<Sum, _>(&a, &segs).unwrap(),
+            seg_scan::<Sum, _>(&a, &segs)
+        );
+        // Precondition violation is a typed error, not a panic.
+        let short = Segments::single(3);
+        assert!(matches!(
+            try_seg_scan::<Sum, _>(&a, &short),
+            Err(Error::LengthMismatch { .. })
+        ));
+        // An expired ambient deadline is honored.
+        let d = ScanDeadline::at(std::time::Instant::now());
+        let got = deadline::with_deadline(&d, || try_seg_scan::<Sum, _>(&a, &segs));
+        assert_eq!(got, Err(Error::Exec(ExecError::DeadlineExceeded)));
     }
 }

@@ -9,8 +9,11 @@ use crate::ops::{permute_unchecked, Bucket};
 use crate::parallel;
 use crate::segmented::{seg_inclusive_scan, seg_scan, Segments};
 
-/// `Err(Error::LengthMismatch)` unless `len` matches the segmentation.
+/// `Err(Error::LengthMismatch)` unless `len` matches the segmentation,
+/// checking the ambient [`crate::deadline`] scope first (every checked
+/// segmented op funnels through here, so they all honor deadlines).
 fn check_seg_len(len: usize, segs: &Segments) -> Result<()> {
+    crate::deadline::checkpoint()?;
     if len != segs.len() {
         return Err(Error::LengthMismatch {
             expected: segs.len(),

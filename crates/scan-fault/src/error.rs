@@ -23,6 +23,10 @@ pub enum FaultError {
         /// Total verification attempts made across the chain.
         attempts: u32,
     },
+    /// Execution was abandoned by the resilience layer (deadline
+    /// expiry, cancellation, or worker loss) before a verified output
+    /// existed.
+    Exec(scan_core::ExecError),
 }
 
 /// Which clause of the exclusive-scan invariant a corrupted output
@@ -55,6 +59,7 @@ impl fmt::Display for FaultError {
                     "no backend produced a verifiable scan in {attempts} attempts"
                 )
             }
+            FaultError::Exec(e) => write!(f, "execution abandoned: {e}"),
         }
     }
 }
@@ -63,6 +68,7 @@ impl std::error::Error for FaultError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FaultError::Core(e) => Some(e),
+            FaultError::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -71,6 +77,12 @@ impl std::error::Error for FaultError {
 impl From<scan_core::Error> for FaultError {
     fn from(e: scan_core::Error) -> Self {
         FaultError::Core(e)
+    }
+}
+
+impl From<scan_core::ExecError> for FaultError {
+    fn from(e: scan_core::ExecError) -> Self {
+        FaultError::Exec(e)
     }
 }
 
@@ -99,5 +111,9 @@ mod tests {
 
         let e = FaultError::RetriesExhausted { attempts: 9 };
         assert!(e.to_string().contains("9 attempts"));
+
+        let e: FaultError = scan_core::ExecError::DeadlineExceeded.into();
+        assert_eq!(e.to_string(), "execution abandoned: deadline exceeded");
+        assert!(std::error::Error::source(&e).is_some());
     }
 }

@@ -1,5 +1,6 @@
 //! Self-checking scan execution: verify every primitive scan, retry a
-//! bounded number of times, then walk a fallback chain.
+//! bounded number of times, then walk a fallback chain under a
+//! per-backend circuit breaker.
 //!
 //! The verifier (see [`crate::verify`]) is complete — an accepted
 //! output *is* the reference scan — so anything built on a
@@ -8,14 +9,124 @@
 //! hardware, no matter how corrupted the underlying circuit is. The
 //! cost of that guarantee is one O(n) pass per scan plus re-execution
 //! of the scans that fail it.
+//!
+//! Three resilience mechanisms ride on top of verify-and-retry:
+//!
+//! - **Circuit breaker** ([`BreakerConfig`]): each backend carries a
+//!   consecutive-failure counter; at the threshold the backend is
+//!   quarantined (state `Open`) and *skipped* for a number of scans
+//!   measured on the executor's logical scan clock. When the
+//!   quarantine elapses the next scan is a single **probation probe**
+//!   — success re-admits the backend, failure re-opens it with
+//!   exponentially doubled (capped) backoff.
+//! - **Panic containment**: every backend invocation runs under
+//!   `catch_unwind`; a panicking backend counts as a failed attempt
+//!   (and trips the breaker) instead of unwinding through the caller.
+//! - **Deadline awareness**: each scan request begins with a
+//!   [`scan_core::deadline::checkpoint`], so an expired or cancelled
+//!   ambient [`scan_core::ScanDeadline`] surfaces as
+//!   [`FaultError::Exec`] before any backend burns cycles.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use scan_core::simulate::PrimitiveScans;
 use scan_core::{Max, Sum};
 
 use crate::error::FaultError;
 use crate::verify::verify_scan;
+
+/// Tuning knobs for the per-backend circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failed attempts (rejected or panicked) that open the
+    /// breaker on a backend.
+    pub failure_threshold: u32,
+    /// Quarantine length, in scans on the executor's logical clock,
+    /// applied the first time a backend opens.
+    pub base_quarantine: u64,
+    /// Backoff ceiling: each failed probation probe doubles the
+    /// quarantine up to this many scans.
+    pub max_quarantine: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            base_quarantine: 8,
+            max_quarantine: 1024,
+        }
+    }
+}
+
+/// Breaker position for one backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: the backend is attempted normally.
+    Closed,
+    /// Quarantined: skipped until the logical scan clock reaches
+    /// `until`, then given one probation probe.
+    Open {
+        /// Scan-clock value at which the backend becomes probeable.
+        until: u64,
+        /// Current quarantine length; doubles (capped) per failed
+        /// probe.
+        backoff: u64,
+    },
+}
+
+/// Health snapshot of one backend in the chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendHealth {
+    /// Breaker position.
+    pub state: BreakerState,
+    /// Failed attempts since the last verified success.
+    pub consecutive_failures: u32,
+    /// Scans during which this backend was skipped while quarantined.
+    pub skipped: u64,
+    /// Probation probes issued after a quarantine elapsed.
+    pub probes: u64,
+    /// Times the breaker opened (including re-opens after a failed
+    /// probe).
+    pub quarantines: u64,
+    /// Panics contained by `catch_unwind` around this backend.
+    pub panics: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HealthInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    skipped: u64,
+    probes: u64,
+    quarantines: u64,
+    panics: u64,
+}
+
+impl HealthInner {
+    fn new() -> Self {
+        HealthInner {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            skipped: 0,
+            probes: 0,
+            quarantines: 0,
+            panics: 0,
+        }
+    }
+}
+
+/// How the breaker admits a backend for the current scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Closed breaker: full retry budget.
+    Full,
+    /// Quarantine elapsed: exactly one probe attempt.
+    Probe,
+    /// Still quarantined: not attempted at all.
+    Skip,
+}
 
 /// Counters describing what a [`CheckedExecutor`] has done so far.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,10 +146,14 @@ pub struct CheckedStats {
     pub rescues: u64,
 }
 
-/// A verifying, retrying, falling-back `PrimitiveScans` wrapper.
+/// A verifying, retrying, falling-back `PrimitiveScans` wrapper with a
+/// per-backend circuit breaker.
 ///
-/// Backends are tried in order; each gets `1 + retries` attempts, each
-/// attempt's output is verified in O(n). If the whole chain fails, the
+/// Backends are tried in order; each healthy backend gets `1 + retries`
+/// attempts (run under `catch_unwind`), each attempt's output is
+/// verified in O(n). Backends that keep failing are quarantined and
+/// skipped per [`BreakerConfig`], then re-probed after an
+/// exponential backoff. If the whole chain fails, the
 /// `PrimitiveScans` entry points serve the scan from the in-process
 /// sequential reference (and count a rescue), so they *never* return a
 /// corrupted scan; the `checked_*` variants instead surface
@@ -46,6 +161,8 @@ pub struct CheckedStats {
 pub struct CheckedExecutor {
     chain: Vec<Box<dyn PrimitiveScans>>,
     retries: u32,
+    breaker: BreakerConfig,
+    health: RefCell<Vec<HealthInner>>,
     scans: Cell<u64>,
     attempts: Cell<u64>,
     detections: Cell<u64>,
@@ -59,6 +176,7 @@ impl core::fmt::Debug for CheckedExecutor {
         f.debug_struct("CheckedExecutor")
             .field("chain_len", &self.chain.len())
             .field("retries", &self.retries)
+            .field("breaker", &self.breaker)
             .field("stats", &self.stats())
             .finish()
     }
@@ -72,6 +190,8 @@ impl CheckedExecutor {
         CheckedExecutor {
             chain: vec![primary],
             retries: 1,
+            breaker: BreakerConfig::default(),
+            health: RefCell::new(vec![HealthInner::new()]),
             scans: Cell::new(0),
             attempts: Cell::new(0),
             detections: Cell::new(0),
@@ -85,6 +205,7 @@ impl CheckedExecutor {
     /// already in the chain).
     pub fn with_fallback(mut self, backend: Box<dyn PrimitiveScans>) -> Self {
         self.chain.push(backend);
+        self.health.borrow_mut().push(HealthInner::new());
         self
     }
 
@@ -92,6 +213,29 @@ impl CheckedExecutor {
     pub fn with_retries(mut self, retries: u32) -> Self {
         self.retries = retries;
         self
+    }
+
+    /// Replace the circuit-breaker tuning (see [`BreakerConfig`] for
+    /// the defaults).
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Health snapshot of backend `i` in the chain.
+    ///
+    /// # Panics
+    /// If `i` is out of range.
+    pub fn backend_health(&self, i: usize) -> BackendHealth {
+        let h = self.health.borrow()[i];
+        BackendHealth {
+            state: h.state,
+            consecutive_failures: h.consecutive_failures,
+            skipped: h.skipped,
+            probes: h.probes,
+            quarantines: h.quarantines,
+            panics: h.panics,
+        }
     }
 
     /// Snapshot of the executor's counters.
@@ -106,32 +250,111 @@ impl CheckedExecutor {
         }
     }
 
+    /// Open the breaker on backend `b_idx` at logical time `clock`,
+    /// doubling (capped) the backoff if it was already open.
+    fn open_breaker(&self, b_idx: usize, clock: u64) {
+        let mut health = self.health.borrow_mut();
+        let h = &mut health[b_idx];
+        let backoff = match h.state {
+            BreakerState::Closed => self.breaker.base_quarantine.max(1),
+            BreakerState::Open { backoff, .. } => {
+                (backoff.saturating_mul(2)).min(self.breaker.max_quarantine.max(1))
+            }
+        };
+        h.state = BreakerState::Open {
+            until: clock.saturating_add(backoff),
+            backoff,
+        };
+        h.quarantines += 1;
+    }
+
     fn run(&self, max: bool, a: &[u64]) -> crate::Result<Vec<u64>> {
-        self.scans.set(self.scans.get() + 1);
+        scan_core::deadline::checkpoint()?;
+        let clock = self.scans.get();
+        self.scans.set(clock + 1);
         let mut attempts_here = 0u32;
         for (b_idx, backend) in self.chain.iter().enumerate() {
+            let gate = {
+                let mut health = self.health.borrow_mut();
+                let h = &mut health[b_idx];
+                match h.state {
+                    BreakerState::Closed => Gate::Full,
+                    BreakerState::Open { until, .. } if clock < until => {
+                        h.skipped += 1;
+                        Gate::Skip
+                    }
+                    BreakerState::Open { .. } => {
+                        h.probes += 1;
+                        Gate::Probe
+                    }
+                }
+            };
+            if gate == Gate::Skip {
+                continue;
+            }
             if b_idx > 0 {
                 self.fallbacks.set(self.fallbacks.get() + 1);
             }
-            for attempt in 0..=self.retries {
+            let tries = if gate == Gate::Probe {
+                1
+            } else {
+                1 + self.retries
+            };
+            for attempt in 0..tries {
                 attempts_here += 1;
                 self.attempts.set(self.attempts.get() + 1);
                 if attempt > 0 {
                     self.retried.set(self.retried.get() + 1);
                 }
-                let out = if max {
-                    backend.max_scan(a)
-                } else {
-                    backend.plus_scan(a)
+                // Panic containment: a backend that unwinds is a failed
+                // attempt, not our caller's problem.
+                let raw = catch_unwind(AssertUnwindSafe(|| {
+                    if max {
+                        backend.max_scan(a)
+                    } else {
+                        backend.plus_scan(a)
+                    }
+                }));
+                let verified = match raw {
+                    Ok(out) => {
+                        let ok = if max {
+                            verify_scan::<Max, u64>(a, &out)
+                        } else {
+                            verify_scan::<Sum, u64>(a, &out)
+                        };
+                        match ok {
+                            Ok(()) => Some(out),
+                            Err(_) => {
+                                self.detections.set(self.detections.get() + 1);
+                                None
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        self.health.borrow_mut()[b_idx].panics += 1;
+                        None
+                    }
                 };
-                let ok = if max {
-                    verify_scan::<Max, u64>(a, &out)
-                } else {
-                    verify_scan::<Sum, u64>(a, &out)
-                };
-                match ok {
-                    Ok(()) => return Ok(out),
-                    Err(_) => self.detections.set(self.detections.get() + 1),
+                match verified {
+                    Some(out) => {
+                        let mut health = self.health.borrow_mut();
+                        let h = &mut health[b_idx];
+                        h.state = BreakerState::Closed;
+                        h.consecutive_failures = 0;
+                        return Ok(out);
+                    }
+                    None => {
+                        let failures = {
+                            let mut health = self.health.borrow_mut();
+                            let h = &mut health[b_idx];
+                            h.consecutive_failures += 1;
+                            h.consecutive_failures
+                        };
+                        if gate == Gate::Probe || failures >= self.breaker.failure_threshold {
+                            self.open_breaker(b_idx, clock);
+                            break; // stop retrying a quarantined backend
+                        }
+                    }
                 }
             }
         }
@@ -246,7 +469,145 @@ mod tests {
         let s = ex.stats();
         assert_eq!(s.scans, 60);
         assert!(s.detections > 0, "a plan faulting every scan must trip");
-        assert!(s.attempts > s.scans);
+        // Retries plus breaker skips account for every scan: each one
+        // was either attempted on the circuit or served while the
+        // circuit sat in quarantine.
+        let h = ex.backend_health(0);
+        assert!(s.attempts + h.skipped > s.scans);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_skips() {
+        let ex = CheckedExecutor::new(Box::new(AlwaysWrong))
+            .with_fallback(Box::new(SoftwareScans))
+            .with_retries(0)
+            .with_breaker(BreakerConfig {
+                failure_threshold: 3,
+                base_quarantine: 8,
+                max_quarantine: 64,
+            });
+        let a: Vec<u64> = (0..16).collect();
+        let good = scan_core::scan::<Sum, _>(&a);
+        // Scans at clock 0..=2 attempt the primary and fail; the third
+        // failure opens the breaker (until = 2 + 8 = 10).
+        for _ in 0..3 {
+            assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        }
+        let h = ex.backend_health(0);
+        assert_eq!(h.quarantines, 1);
+        assert_eq!(h.state, BreakerState::Open { until: 10, backoff: 8 });
+        let attempts_at_open = ex.stats().attempts;
+        // Clocks 3..=9: the primary is skipped, not attempted.
+        for _ in 3..10 {
+            assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        }
+        let h = ex.backend_health(0);
+        assert_eq!(h.skipped, 7, "quarantined backend must be skipped");
+        // 7 scans each cost exactly one (fallback) attempt.
+        assert_eq!(ex.stats().attempts, attempts_at_open + 7);
+        // Clock 10: quarantine elapsed — one probe, which fails and
+        // re-opens with doubled backoff.
+        assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        let h = ex.backend_health(0);
+        assert_eq!(h.probes, 1);
+        assert_eq!(h.quarantines, 2);
+        assert_eq!(h.state, BreakerState::Open { until: 26, backoff: 16 });
+    }
+
+    /// Wrong for the first `bad_calls` invocations, correct afterwards.
+    struct HealsAfter {
+        bad_calls: u64,
+        calls: std::cell::Cell<u64>,
+    }
+    impl PrimitiveScans for HealsAfter {
+        fn plus_scan(&self, a: &[u64]) -> Vec<u64> {
+            let c = self.calls.get();
+            self.calls.set(c + 1);
+            if c < self.bad_calls {
+                vec![u64::MAX; a.len()]
+            } else {
+                scan_core::scan::<Sum, _>(a)
+            }
+        }
+        fn max_scan(&self, a: &[u64]) -> Vec<u64> {
+            self.plus_scan(a)
+        }
+    }
+
+    #[test]
+    fn probe_readmits_a_healed_backend() {
+        let ex = CheckedExecutor::new(Box::new(HealsAfter {
+            bad_calls: 1,
+            calls: std::cell::Cell::new(0),
+        }))
+        .with_fallback(Box::new(SoftwareScans))
+        .with_retries(0)
+        .with_breaker(BreakerConfig {
+            failure_threshold: 1,
+            base_quarantine: 2,
+            max_quarantine: 8,
+        });
+        let a: Vec<u64> = (0..12).collect();
+        let good = scan_core::scan::<Sum, _>(&a);
+        // Clock 0: primary lies once, breaker opens (until = 2).
+        assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        assert_eq!(
+            ex.backend_health(0).state,
+            BreakerState::Open { until: 2, backoff: 2 }
+        );
+        // Clock 1: skipped.
+        assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        assert_eq!(ex.backend_health(0).skipped, 1);
+        // Clock 2: probe — the backend has healed, so it is re-admitted.
+        assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        let h = ex.backend_health(0);
+        assert_eq!(h.probes, 1);
+        assert_eq!(h.state, BreakerState::Closed);
+        assert_eq!(h.consecutive_failures, 0);
+        // Clock 3: served by the healthy primary again — no new
+        // fallbacks.
+        let fallbacks = ex.stats().fallbacks;
+        assert_eq!(ex.checked_plus_scan(&a).unwrap(), good);
+        assert_eq!(ex.stats().fallbacks, fallbacks);
+    }
+
+    /// A backend that panics on every call.
+    struct AlwaysPanics;
+    impl PrimitiveScans for AlwaysPanics {
+        fn plus_scan(&self, _a: &[u64]) -> Vec<u64> {
+            panic!("injected backend panic");
+        }
+        fn max_scan(&self, _a: &[u64]) -> Vec<u64> {
+            panic!("injected backend panic");
+        }
+    }
+
+    #[test]
+    fn panicking_backend_is_contained_and_counted() {
+        let ex = CheckedExecutor::new(Box::new(AlwaysPanics))
+            .with_fallback(Box::new(SoftwareScans))
+            .with_retries(1);
+        let a: Vec<u64> = (0..20).collect();
+        // No panic crosses this call; the fallback serves the scan.
+        assert_eq!(
+            ex.checked_plus_scan(&a).unwrap(),
+            scan_core::scan::<Sum, _>(&a)
+        );
+        let h = ex.backend_health(0);
+        assert!(h.panics >= 1);
+        assert_eq!(ex.stats().detections, 0, "a panic is not a detection");
+    }
+
+    #[test]
+    fn expired_ambient_deadline_is_a_typed_error() {
+        let ex = CheckedExecutor::new(Box::new(SoftwareScans));
+        let d = scan_core::ScanDeadline::after(std::time::Duration::ZERO);
+        let got = scan_core::deadline::with_deadline(&d, || ex.checked_plus_scan(&[1, 2, 3]));
+        assert_eq!(
+            got.unwrap_err(),
+            FaultError::Exec(scan_core::ExecError::DeadlineExceeded)
+        );
+        assert_eq!(ex.stats().scans, 0, "abandoned before any attempt");
     }
 
     #[test]

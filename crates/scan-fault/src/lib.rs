@@ -23,19 +23,30 @@
 //!    chain (e.g. circuit → bit-sliced → software), so everything
 //!    routed through it — including all of `scan_pram::Ctx` via
 //!    `Ctx::with_backend` — returns correct results or a clean typed
-//!    [`FaultError`], never silent corruption.
+//!    [`FaultError`], never silent corruption. A per-backend circuit
+//!    breaker ([`BreakerConfig`]) quarantines persistently failing
+//!    backends with exponential-backoff probation, and every backend
+//!    call is panic-contained and deadline-aware.
+//! 3. **Chaos harness** — [`ChaosPlan`] schedules seeded,
+//!    reproducible delays, panics, and wrong results into backends
+//!    ([`ChaosBackend`]) or scan operators ([`chaos_op`]), to
+//!    demonstrate that the stack always terminates with a correct
+//!    result or a typed error: never a hang, never a panic across the
+//!    API boundary.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
+pub mod chaos;
 pub mod error;
 pub mod executor;
 pub mod plan;
 pub mod verify;
 
 pub use backend::FaultyCircuitBackend;
+pub use chaos::{chaos_op, ChaosBackend, ChaosEvent, ChaosPlan};
 pub use error::{CorruptionKind, FaultError, Result};
-pub use executor::{CheckedExecutor, CheckedStats};
+pub use executor::{BackendHealth, BreakerConfig, BreakerState, CheckedExecutor, CheckedStats};
 pub use plan::{FaultPlan, SplitMix64};
 pub use verify::{verify_scan, verify_scan_backward, verify_seg_scan, verify_seg_scan_backward};
