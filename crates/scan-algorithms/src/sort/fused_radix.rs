@@ -1,0 +1,265 @@
+//! Multi-digit split radix sort on the fused `multi_split` engine.
+//!
+//! Algorithmically identical to
+//! [`split_radix_sort_digits_ctx`][crate::sort::radix::split_radix_sort_digits_ctx]
+//! — `⌈key_bits / digit_bits⌉` stable passes over `2^digit_bits`
+//! buckets — but each pass runs as ONE fused histogram / scan /
+//! scatter ([`scan_core::multi_split`]) over ping-pong buffers instead
+//! of `2^w` whole-vector enumerate-scans, cutting the per-pass work
+//! from `O(2^w · n)` to `O(n + blocks · 2^w)`. Step charges on the
+//! `Ctx` machine are unchanged (see [`Ctx::multi_split`][Ctx]): fusion
+//! is an execution detail, not a different scan-model algorithm.
+
+use scan_core::multi_split::{multi_split_into, try_multi_split_into, MultiSplitScratch};
+use scan_core::{Error, Result};
+use scan_pram::{Ctx, Model};
+
+/// Typed width check shared by the `try_*` sorts: every key must fit
+/// in `key_bits` bits.
+pub(crate) fn check_key_width(keys: &[u64], key_bits: u32) -> Result<()> {
+    match keys.iter().find(|&&k| key_bits < 64 && k >> key_bits != 0) {
+        Some(&bad) => Err(Error::WidthOverflow {
+            required: 64 - bad.leading_zeros(),
+            available: key_bits,
+        }),
+        None => Ok(()),
+    }
+}
+
+/// Fused multi-digit split radix sort on a step-counting machine,
+/// ascending and stable. Charges the same steps per pass as the
+/// unfused multi-digit schedule (`2^w` scans, `2^w + 2` elementwise,
+/// one permute), so Table 1/Table 4 accounting is identical.
+///
+/// # Panics
+/// If a key exceeds `key_bits` bits, or `digit_bits` is 0 or > 16.
+pub fn fused_radix_sort_digits_ctx(
+    ctx: &mut Ctx,
+    keys: &[u64],
+    key_bits: u32,
+    digit_bits: u32,
+) -> Vec<u64> {
+    assert!((1..=16).contains(&digit_bits), "digit width must be 1..=16");
+    if let Some(&bad) = keys.iter().find(|&&k| key_bits < 64 && k >> key_bits != 0) {
+        panic!("key {bad} does not fit in {key_bits} bits");
+    }
+    let n = keys.len();
+    let buckets = 1usize << digit_bits;
+    let mask = (buckets - 1) as u64;
+    let mut a = keys.to_vec();
+    let mut b = keys.to_vec();
+    let mut scratch = MultiSplitScratch::new();
+    let mut shift = 0;
+    while shift < key_bits {
+        // Same charges as the enumerate-per-bucket schedule (see
+        // `Ctx::multi_split`): digit map, per-bucket flag + enumerate,
+        // destination arithmetic, scatter.
+        ctx.charge_elementwise_op(n);
+        for _ in 0..buckets {
+            ctx.charge_elementwise_op(n);
+            ctx.charge_scan_op(n);
+        }
+        ctx.charge_elementwise_op(n);
+        ctx.charge_permute_op(n);
+        multi_split_into(
+            &a,
+            &mut b,
+            buckets,
+            move |k| ((k >> shift) & mask) as usize,
+            &mut scratch,
+        );
+        core::mem::swap(&mut a, &mut b);
+        shift += digit_bits;
+    }
+    a
+}
+
+/// Fused multi-digit sort with the default scan-model machine.
+pub fn fused_radix_sort_digits(keys: &[u64], key_bits: u32, digit_bits: u32) -> Vec<u64> {
+    let mut ctx = Ctx::new(Model::Scan);
+    fused_radix_sort_digits_ctx(&mut ctx, keys, key_bits, digit_bits)
+}
+
+/// Fused radix sort with the default digit width (8-bit digits, capped
+/// at `key_bits`) — the engine's production sort path.
+pub fn fused_radix_sort(keys: &[u64], key_bits: u32) -> Vec<u64> {
+    fused_radix_sort_digits(keys, key_bits, key_bits.clamp(1, 8))
+}
+
+/// Fused stable sort of `(key, payload)` pairs by key.
+///
+/// # Panics
+/// Like [`fused_radix_sort_digits`], plus a length mismatch between
+/// `keys` and `payloads`.
+pub fn fused_radix_sort_pairs_digits(
+    keys: &[u64],
+    payloads: &[u64],
+    key_bits: u32,
+    digit_bits: u32,
+) -> (Vec<u64>, Vec<u64>) {
+    assert!((1..=16).contains(&digit_bits), "digit width must be 1..=16");
+    assert_eq!(keys.len(), payloads.len(), "pairs length mismatch");
+    if let Some(&bad) = keys.iter().find(|&&k| key_bits < 64 && k >> key_bits != 0) {
+        panic!("key {bad} does not fit in {key_bits} bits");
+    }
+    let buckets = 1usize << digit_bits;
+    let mask = (buckets - 1) as u64;
+    let mut a: Vec<(u64, u64)> = keys.iter().copied().zip(payloads.iter().copied()).collect();
+    let mut b = a.clone();
+    let mut scratch = MultiSplitScratch::new();
+    let mut shift = 0;
+    while shift < key_bits {
+        multi_split_into(
+            &a,
+            &mut b,
+            buckets,
+            move |(k, _)| ((k >> shift) & mask) as usize,
+            &mut scratch,
+        );
+        core::mem::swap(&mut a, &mut b);
+        shift += digit_bits;
+    }
+    (
+        a.iter().map(|&(k, _)| k).collect(),
+        a.iter().map(|&(_, v)| v).collect(),
+    )
+}
+
+/// Checked fused sort: typed errors instead of panics for data-
+/// dependent failures — [`Error::WidthOverflow`] for a key that does
+/// not fit `key_bits`, [`Error::Exec`] when the ambient
+/// [`ScanDeadline`][scan_core::ScanDeadline] expires or a key-function
+/// panic is contained by the pool.
+///
+/// # Panics
+/// Only on the static contract: `digit_bits` 0 or > 16.
+pub fn try_fused_radix_sort_digits(
+    keys: &[u64],
+    key_bits: u32,
+    digit_bits: u32,
+) -> Result<Vec<u64>> {
+    assert!((1..=16).contains(&digit_bits), "digit width must be 1..=16");
+    scan_core::deadline::checkpoint()?;
+    check_key_width(keys, key_bits)?;
+    let buckets = 1usize << digit_bits;
+    let mask = (buckets - 1) as u64;
+    let mut a = keys.to_vec();
+    let mut b = keys.to_vec();
+    let mut scratch = MultiSplitScratch::new();
+    let mut shift = 0;
+    while shift < key_bits {
+        try_multi_split_into(
+            &a,
+            &mut b,
+            buckets,
+            move |k| ((k >> shift) & mask) as usize,
+            &mut scratch,
+        )?;
+        core::mem::swap(&mut a, &mut b);
+        shift += digit_bits;
+    }
+    Ok(a)
+}
+
+/// Checked fused sort with the default digit width.
+pub fn try_fused_radix_sort(keys: &[u64], key_bits: u32) -> Result<Vec<u64>> {
+    try_fused_radix_sort_digits(keys, key_bits, key_bits.clamp(1, 8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::radix::split_radix_sort_digits_ctx;
+    use scan_core::{deadline, ExecError, ScanDeadline};
+
+    fn keys(seed: u64, n: usize, bits: u32) -> Vec<u64> {
+        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & mask
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorts_for_every_width() {
+        let ks = keys(5, 600, 16);
+        let mut expect = ks.clone();
+        expect.sort_unstable();
+        for w in [1u32, 2, 3, 4, 8, 11, 16] {
+            assert_eq!(fused_radix_sort_digits(&ks, 16, w), expect, "w={w}");
+        }
+        assert_eq!(fused_radix_sort(&ks, 16), expect);
+    }
+
+    #[test]
+    fn matches_legacy_path_and_charges() {
+        let ks = keys(77, 256, 16);
+        let mut fused_ctx = Ctx::new(Model::Scan);
+        let mut legacy_ctx = Ctx::new(Model::Scan);
+        for w in [1u32, 4, 8] {
+            fused_ctx.reset_stats();
+            legacy_ctx.reset_stats();
+            let fused = fused_radix_sort_digits_ctx(&mut fused_ctx, &ks, 16, w);
+            let legacy = split_radix_sort_digits_ctx(&mut legacy_ctx, &ks, 16, w);
+            assert_eq!(fused, legacy, "w={w}");
+            assert_eq!(
+                fused_ctx.steps(),
+                legacy_ctx.steps(),
+                "fusion must not change scan-model accounting (w={w})"
+            );
+        }
+    }
+
+    #[test]
+    fn stability_via_pairs() {
+        let ks = [3u64, 1, 3, 1, 3];
+        let payloads = [0u64, 1, 2, 3, 4];
+        let (k, v) = fused_radix_sort_pairs_digits(&ks, &payloads, 2, 1);
+        assert_eq!(k, vec![1, 1, 3, 3, 3]);
+        assert_eq!(v, vec![1, 3, 0, 2, 4]);
+    }
+
+    #[test]
+    fn empty_single_and_zero_bits() {
+        assert!(fused_radix_sort(&[], 8).is_empty());
+        assert_eq!(fused_radix_sort(&[9], 8), vec![9]);
+        assert_eq!(fused_radix_sort(&[0, 0, 0], 0), vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_key_panics() {
+        fused_radix_sort(&[256], 8);
+    }
+
+    #[test]
+    fn try_reports_oversized_key() {
+        assert_eq!(
+            try_fused_radix_sort(&[256], 8),
+            Err(Error::WidthOverflow {
+                required: 9,
+                available: 8
+            })
+        );
+    }
+
+    #[test]
+    fn try_honors_cancellation() {
+        let ks = keys(9, 50_000, 16);
+        let d = ScanDeadline::manual();
+        d.cancel();
+        let r = deadline::with_deadline(&d, || try_fused_radix_sort(&ks, 16));
+        assert_eq!(r, Err(Error::Exec(ExecError::Cancelled)));
+    }
+
+    #[test]
+    fn try_matches_infallible_when_unbounded() {
+        let ks = keys(13, 4096, 24);
+        assert_eq!(try_fused_radix_sort(&ks, 24).unwrap(), fused_radix_sort(&ks, 24));
+    }
+}

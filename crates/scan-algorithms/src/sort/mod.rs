@@ -3,11 +3,13 @@
 //! comparison baseline.
 
 pub mod bitonic;
+pub mod fused_radix;
 pub mod mergesort;
 pub mod quicksort;
 pub mod radix;
 
 pub use bitonic::bitonic_sort;
+pub use fused_radix::{fused_radix_sort, fused_radix_sort_digits, try_fused_radix_sort};
 pub use mergesort::merge_sort;
 pub use quicksort::{quicksort, PivotRule};
-pub use radix::{split_radix_sort, split_radix_sort_pairs};
+pub use radix::{split_radix_sort, split_radix_sort_pairs, try_split_radix_sort};

@@ -56,24 +56,27 @@ pub fn split_radix_sort_digits_ctx(
     }
     let buckets = 1usize << digit_bits;
     let mut a = keys.to_vec();
+    // Flag and destination buffers are hoisted out of the bucket loop
+    // (and the pass loop): each bucket refills them in place, so the
+    // only per-pass allocations left are the scans' own outputs.
+    let mut ones = vec![0usize; a.len()];
+    let mut dest = vec![0usize; a.len()];
     let mut shift = 0;
     while shift < key_bits {
         let mask = (buckets - 1) as u64;
         // One enumerate per bucket value, then a bucket-base offset —
         // a 2^w-way stable split in 2^w scans plus one permute.
         let digit: Vec<u64> = ctx.map(&a, |k| (k >> shift) & mask);
-        let mut dest = vec![0usize; a.len()];
         let mut base = 0usize;
         for b in 0..buckets as u64 {
-            let in_bucket: Vec<bool> = digit.iter().map(|&d| d == b).collect();
+            for (o, &d) in ones.iter_mut().zip(digit.iter()) {
+                *o = usize::from(d == b);
+            }
             ctx.charge_elementwise_op(a.len());
-            let (ranks, count) = {
-                let ones: Vec<usize> = in_bucket.iter().map(|&f| usize::from(f)).collect();
-                ctx.charge_scan_op(a.len());
-                scan_core::scan_with_total::<scan_core::op::Sum, _>(&ones)
-            };
+            ctx.charge_scan_op(a.len());
+            let (ranks, count) = scan_core::scan_with_total::<scan_core::op::Sum, _>(&ones);
             for i in 0..a.len() {
-                if in_bucket[i] {
+                if digit[i] == b {
                     dest[i] = base + ranks[i];
                 }
             }
@@ -90,6 +93,69 @@ pub fn split_radix_sort_digits_ctx(
 pub fn split_radix_sort_digits(keys: &[u64], key_bits: u32, digit_bits: u32) -> Vec<u64> {
     let mut ctx = Ctx::new(Model::Scan);
     split_radix_sort_digits_ctx(&mut ctx, keys, key_bits, digit_bits)
+}
+
+/// Checked split radix sort: typed errors instead of panics.
+/// An oversized key reports
+/// [`Error::WidthOverflow`][scan_core::Error::WidthOverflow]; an
+/// expired or cancelled ambient
+/// [`ScanDeadline`][scan_core::ScanDeadline] reports
+/// [`Error::Exec`][scan_core::Error::Exec], checked before every bit
+/// pass and inside the underlying checked split.
+pub fn try_split_radix_sort(keys: &[u64], key_bits: u32) -> scan_core::Result<Vec<u64>> {
+    scan_core::deadline::checkpoint()?;
+    super::fused_radix::check_key_width(keys, key_bits)?;
+    let mut a = keys.to_vec();
+    for i in 0..key_bits {
+        scan_core::deadline::checkpoint()?;
+        let flags: Vec<bool> = a.iter().map(|&k| (k >> i) & 1 == 1).collect();
+        a = scan_core::ops::try_split(&a, &flags)?;
+    }
+    Ok(a)
+}
+
+/// Checked multi-digit split radix sort (the unfused enumerate-per-
+/// bucket schedule): typed errors for oversized keys and deadline
+/// expiry, checked once per bucket scan.
+///
+/// # Panics
+/// Only on the static contract: `digit_bits` 0 or > 16.
+pub fn try_split_radix_sort_digits(
+    keys: &[u64],
+    key_bits: u32,
+    digit_bits: u32,
+) -> scan_core::Result<Vec<u64>> {
+    assert!((1..=16).contains(&digit_bits), "digit width must be 1..=16");
+    scan_core::deadline::checkpoint()?;
+    super::fused_radix::check_key_width(keys, key_bits)?;
+    let buckets = 1usize << digit_bits;
+    let mut a = keys.to_vec();
+    let mut ones = vec![0usize; a.len()];
+    let mut dest = vec![0usize; a.len()];
+    let mut shift = 0;
+    while shift < key_bits {
+        let mask = (buckets - 1) as u64;
+        let digit: Vec<u64> = a.iter().map(|&k| (k >> shift) & mask).collect();
+        let mut base = 0usize;
+        for b in 0..buckets as u64 {
+            for (o, &d) in ones.iter_mut().zip(digit.iter()) {
+                *o = usize::from(d == b);
+            }
+            let (ranks, count) =
+                scan_core::scan::try_scan_with_total::<scan_core::op::Sum, _>(&ones)?;
+            for i in 0..a.len() {
+                if digit[i] == b {
+                    dest[i] = base + ranks[i];
+                }
+            }
+            base += count;
+        }
+        // `dest` is a permutation by construction (each index gets the
+        // unique rank of its bucket occupancy).
+        a = scan_core::ops::permute_unchecked(&a, &dest);
+        shift += digit_bits;
+    }
+    Ok(a)
 }
 
 /// Split radix sort of `(key, payload)` pairs — "since integers,
@@ -270,6 +336,38 @@ mod tests {
         let keys = [0x13u64, 0x11, 0x23, 0x21, 0x13];
         let sorted = split_radix_sort_digits(&keys, 8, 4);
         assert_eq!(sorted, vec![0x11, 0x13, 0x13, 0x21, 0x23]);
+    }
+
+    #[test]
+    fn try_variants_sort_and_report_typed_errors() {
+        use scan_core::{deadline, Error, ExecError, ScanDeadline};
+        let keys: Vec<u64> = (0..500).map(|i| (i * 131) % 1024).collect();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        assert_eq!(try_split_radix_sort(&keys, 10), Ok(expect.clone()));
+        assert_eq!(try_split_radix_sort_digits(&keys, 10, 4), Ok(expect));
+        // Oversized key: typed, not a panic.
+        assert_eq!(
+            try_split_radix_sort(&[256], 8),
+            Err(Error::WidthOverflow {
+                required: 9,
+                available: 8
+            })
+        );
+        assert_eq!(
+            try_split_radix_sort_digits(&[300], 8, 4),
+            Err(Error::WidthOverflow {
+                required: 9,
+                available: 8
+            })
+        );
+        // Cancelled ambient deadline: typed, not a hang or panic.
+        let d = ScanDeadline::manual();
+        d.cancel();
+        let r = deadline::with_deadline(&d, || try_split_radix_sort(&keys, 10));
+        assert_eq!(r, Err(Error::Exec(ExecError::Cancelled)));
+        let r = deadline::with_deadline(&d, || try_split_radix_sort_digits(&keys, 10, 2));
+        assert_eq!(r, Err(Error::Exec(ExecError::Cancelled)));
     }
 
     #[test]

@@ -11,6 +11,13 @@
 //! must agree bit-for-bit on these integer kernels, so a reported
 //! speedup can never hide a wrong answer.
 //!
+//! The sort section times three things per size: the legacy 1-bit
+//! engine sort under both schedules, the fused `multi_split` sort
+//! against this run's legacy sort (so its speedup column is the
+//! fused-vs-legacy ratio on this machine), and a digit-width sweep
+//! (w ∈ {1, 4, 8}) of the unfused enumerate-per-bucket schedule vs the
+//! fused kernel. A `memcpy` row per size gives the bandwidth roofline.
+//!
 //! Usage:
 //!   cargo run --release -p scan-bench --bin bench_engine
 //!   cargo run --release -p scan-bench --bin bench_engine -- --smoke
@@ -22,7 +29,8 @@
 //! with per-scenario timings, equality checks on every `Ok`, and a
 //! watchdog proving nothing hangs.
 
-use scan_algorithms::sort::radix::split_radix_sort;
+use scan_algorithms::sort::fused_radix::{fused_radix_sort, fused_radix_sort_digits};
+use scan_algorithms::sort::radix::{split_radix_sort, split_radix_sort_digits};
 use scan_bench::random_keys;
 use scan_core::ops::{enumerate, pack};
 use scan_core::parallel::{self, Schedule};
@@ -309,6 +317,15 @@ fn main() {
         let new = time_median(w, k, || pack(&a, &flags));
         assert_eq!(old_pack(&a, &flags), pack(&a, &flags), "pack engines disagree at n={n}");
         rows.push(Row { kernel: "pack", n, old_ns: old, new_ns: new });
+
+        // Plain memcpy roofline: the memory-bandwidth floor any
+        // one-pass kernel is chasing (old == new by construction).
+        let mut dstv = vec![0u64; n];
+        let t = time_median(w, k, || {
+            dstv.copy_from_slice(&a);
+            std::hint::black_box(dstv[n - 1])
+        });
+        rows.push(Row { kernel: "memcpy", n, old_ns: t, new_ns: t });
     }
 
     // A whole algorithm built from the primitives: split radix sort on
@@ -316,12 +333,43 @@ fn main() {
     for n in sort_sizes(smoke) {
         let k = k_override.unwrap_or_else(|| reps(n * 8));
         let keys = random_keys(n, 16, 0x5027);
-        let old = time_median(w, k, || under(Schedule::Spawn, || split_radix_sort(&keys, 16)));
-        let new = time_median(w, k, || split_radix_sort(&keys, 16));
         let mut expect = keys.clone();
         expect.sort_unstable();
+        let old = time_median(w, k, || under(Schedule::Spawn, || split_radix_sort(&keys, 16)));
+        let legacy_ns = time_median(w, k, || split_radix_sort(&keys, 16));
         assert_eq!(split_radix_sort(&keys, 16), expect, "radix sort wrong at n={n}");
-        rows.push(Row { kernel: "split_radix_sort", n, old_ns: old, new_ns: new });
+        rows.push(Row { kernel: "split_radix_sort", n, old_ns: old, new_ns: legacy_ns });
+
+        // The fused multi_split sort (8-bit digits): old = this run's
+        // legacy engine sort, new = fused — so the row's speedup IS the
+        // fused-vs-legacy ratio on this machine. Equality against the
+        // legacy path (and std) is asserted before the timing counts.
+        let fused = fused_radix_sort(&keys, 16);
+        assert_eq!(
+            fused,
+            split_radix_sort(&keys, 16),
+            "fused sort disagrees with the legacy path at n={n}"
+        );
+        assert_eq!(fused, expect, "fused sort wrong at n={n}");
+        let fused_ns = time_median(w, k, || fused_radix_sort(&keys, 16));
+        rows.push(Row { kernel: "fused_radix_sort", n, old_ns: legacy_ns, new_ns: fused_ns });
+
+        // Digit-width sweep: the unfused enumerate-per-bucket schedule
+        // vs the fused kernel at the same width.
+        for (dw, name) in [
+            (1u32, "radix_digits(w=1)"),
+            (4, "radix_digits(w=4)"),
+            (8, "radix_digits(w=8)"),
+        ] {
+            assert_eq!(
+                fused_radix_sort_digits(&keys, 16, dw),
+                split_radix_sort_digits(&keys, 16, dw),
+                "fused/unfused disagree at n={n} w={dw}"
+            );
+            let old = time_median(w, k, || split_radix_sort_digits(&keys, 16, dw));
+            let new = time_median(w, k, || fused_radix_sort_digits(&keys, 16, dw));
+            rows.push(Row { kernel: name, n, old_ns: old, new_ns: new });
+        }
     }
 
     println!(

@@ -48,6 +48,7 @@ pub mod allocate;
 pub mod deadline;
 pub mod element;
 pub mod error;
+pub mod multi_split;
 pub mod op;
 pub mod ops;
 pub mod parallel;
@@ -62,6 +63,9 @@ pub use allocate::{allocate, distribute, try_distribute, Allocation};
 pub use deadline::ScanDeadline;
 pub use element::ScanElem;
 pub use error::{Error, ExecError, Result};
+pub use multi_split::{
+    multi_split_by, multi_split_into, try_multi_split_by, try_multi_split_into, MultiSplitScratch,
+};
 pub use op::{And, Max, Min, Or, Prod, ScanOp, Sum};
 pub use scan::{
     inclusive_scan, inclusive_scan_backward, reduce, scan, scan_backward, scan_with_total,

@@ -1,0 +1,494 @@
+//! Fused multi-way split: one-pass histogram / rank / scatter.
+//!
+//! The paper's `split` (§2.2.1) routes elements into 2 buckets with two
+//! enumerate-scans; the Connection Machine refinement splits into `2^w`
+//! buckets by running one enumerate per bucket — `2^w` full scans and
+//! `O(2^w · n)` traffic per radix pass. This module fuses the whole
+//! pass into three sweeps of total work `O(n + blocks · 2^w)`:
+//!
+//! 1. **Histogram** — one read of the input. Each block computes a
+//!    private bucket histogram and caches every element's bucket id in
+//!    a `u16` digit buffer (so the scatter never re-evaluates the key
+//!    function, which keeps the disjoint-write argument independent of
+//!    the key closure's determinism).
+//! 2. **One exclusive `+`-scan** over the `blocks × 2^w` count matrix,
+//!    stored **column-major** (`mat[k * nblocks + b]` = count of bucket
+//!    `k` in block `b`). Scanning the flat matrix in memory order walks
+//!    bucket-major: after the scan, `mat[k * nblocks + b]` is exactly
+//!    the output position of block `b`'s first element of bucket `k`,
+//!    and the column heads `mat[k * nblocks]` are the bucket bases —
+//!    both fall out of a single scan.
+//! 3. **Scatter** — one write pass. Each block loads its cursor row
+//!    from the scanned matrix and streams elements to their final
+//!    positions through a per-block cursor array.
+//!
+//! The result is stable: within a block, source order is preserved by
+//! the monotone cursors; across blocks, by the block-major order of the
+//! matrix columns. The inner loops are chunked (deadline checkpoints at
+//! [`CANCEL_STRIDE`][crate::parallel] boundaries on the `try_*` path)
+//! and branch-light so the compiler can keep them in registers.
+
+use crate::deadline::{self, ScanDeadline};
+use crate::element::ScanElem;
+use crate::error::{Error, Result};
+use crate::parallel::{
+    block_range, check, default_schedule, engine_width, go_parallel, plan_blocks, run_blocks,
+    try_run_blocks, Schedule, SendPtr, CANCEL_STRIDE,
+};
+use core::sync::atomic::{AtomicUsize, Ordering};
+
+/// Maximum bucket count a single `multi_split` accepts (the digit
+/// cache is `u16`, so bucket ids must fit 16 bits).
+pub const MAX_BUCKETS: usize = 1 << 16;
+
+/// Reusable scratch for [`multi_split_into`]: the per-element digit
+/// cache and the `blocks × buckets` count matrix. Hoisting the scratch
+/// across the passes of a radix sort removes all per-pass allocation
+/// beyond the ping-pong buffers themselves.
+#[derive(Debug, Default)]
+pub struct MultiSplitScratch {
+    digits: Vec<u16>,
+    counts: Vec<usize>,
+}
+
+impl MultiSplitScratch {
+    /// Empty scratch; the buffers grow on first use and are reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Shared fused implementation. When `fallible` is false, `d` is
+/// `None`, operator panics propagate, and the only reachable error is
+/// a precondition violation (length mismatch / out-of-range bucket).
+#[allow(clippy::too_many_arguments)]
+fn multi_split_core<T, K>(
+    sched: Schedule,
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    key: &K,
+    scratch: &mut MultiSplitScratch,
+    d: Option<&ScanDeadline>,
+    fallible: bool,
+) -> Result<Vec<usize>>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    assert!(nbuckets >= 1, "multi_split: need at least one bucket");
+    assert!(
+        nbuckets <= MAX_BUCKETS,
+        "multi_split: {nbuckets} buckets exceeds MAX_BUCKETS ({MAX_BUCKETS})"
+    );
+    let n = src.len();
+    if dst.len() != n {
+        return Err(Error::LengthMismatch {
+            expected: n,
+            actual: dst.len(),
+        });
+    }
+    if n == 0 {
+        return Ok(vec![0; nbuckets]);
+    }
+
+    let nblocks = if go_parallel(sched, n) {
+        plan_blocks(n, engine_width(sched))
+    } else {
+        1
+    };
+    // A single block needs no cross-thread handoff under any schedule.
+    let sched = if nblocks == 1 {
+        Schedule::Sequential
+    } else {
+        sched
+    };
+
+    scratch.digits.clear();
+    scratch.digits.resize(n, 0);
+    scratch.counts.clear();
+    scratch.counts.resize(nblocks * nbuckets, 0);
+
+    // Phase 1: per-block histograms + digit cache, one read of `src`.
+    // First out-of-range bucket id seen by any block (MAX = none).
+    let oob = AtomicUsize::new(usize::MAX);
+    {
+        let dig = SendPtr::new(scratch.digits.as_mut_ptr());
+        let cnt = SendPtr::new(scratch.counts.as_mut_ptr());
+        let hist = |b: usize| {
+            let r = block_range(n, nblocks, b);
+            let mut local = vec![0usize; nbuckets];
+            let dig = dig.get();
+            let mut lo = r.start;
+            'chunks: while lo < r.end {
+                let hi = (lo + CANCEL_STRIDE).min(r.end);
+                for (i, &x) in src[lo..hi].iter().enumerate() {
+                    let k = key(x);
+                    if k >= nbuckets {
+                        oob.fetch_min(k, Ordering::Relaxed);
+                        break 'chunks;
+                    }
+                    local[k] += 1;
+                    // Safety: `i + lo` is in this block's disjoint range.
+                    unsafe { dig.add(lo + i).write(k as u16) };
+                }
+                lo = hi;
+                if fallible && check(d).is_err() {
+                    break; // bail latch; post-phase check is authoritative
+                }
+            }
+            let cnt = cnt.get();
+            for (k, &c) in local.iter().enumerate() {
+                // Safety: column-major slot (k, b) is written only by block b.
+                unsafe { cnt.add(k * nblocks + b).write(c) };
+            }
+        };
+        if fallible {
+            try_run_blocks(sched, nblocks, d, hist)?;
+        } else {
+            run_blocks(sched, nblocks, hist);
+        }
+    }
+    let bad = oob.load(Ordering::Relaxed);
+    if bad != usize::MAX {
+        if !fallible {
+            panic!("multi_split: key mapped to bucket {bad}, but only {nbuckets} buckets exist");
+        }
+        return Err(Error::IndexOutOfBounds {
+            index: bad,
+            len: nbuckets,
+        });
+    }
+    if fallible {
+        check(d)?;
+    }
+
+    // Phase 2: ONE exclusive +-scan over the flat column-major matrix.
+    // Memory order is bucket-major then block-major, so the scanned
+    // slot (k, b) is the stable output offset for that (bucket, block)
+    // pair, and column heads are the bucket bases.
+    let mut acc = 0usize;
+    for slot in scratch.counts.iter_mut() {
+        let c = *slot;
+        *slot = acc;
+        acc += c;
+    }
+    debug_assert_eq!(acc, n, "histogram must cover the input exactly");
+    let mut counts = vec![0usize; nbuckets];
+    for (k, c) in counts.iter_mut().enumerate() {
+        let base = scratch.counts[k * nblocks];
+        let next = if k + 1 < nbuckets {
+            scratch.counts[(k + 1) * nblocks]
+        } else {
+            acc
+        };
+        *c = next - base;
+    }
+
+    // Phase 3: scatter, one write pass over `dst`.
+    {
+        let out = SendPtr::new(dst.as_mut_ptr());
+        let mat = &scratch.counts;
+        let digits = &scratch.digits;
+        let scat = |b: usize| {
+            let r = block_range(n, nblocks, b);
+            let mut cur: Vec<usize> = (0..nbuckets).map(|k| mat[k * nblocks + b]).collect();
+            let out = out.get();
+            let mut lo = r.start;
+            while lo < r.end {
+                let hi = (lo + CANCEL_STRIDE).min(r.end);
+                for (i, &x) in src[lo..hi].iter().enumerate() {
+                    let k = digits[lo + i] as usize;
+                    let p = cur[k];
+                    cur[k] = p + 1;
+                    // Safety: positions are an exact partition of 0..n —
+                    // block b's bucket-k cursor starts at the scanned
+                    // matrix slot (k, b) and advances once per cached
+                    // digit, so no two writes (in any block) collide.
+                    unsafe { out.add(p).write(x) };
+                }
+                lo = hi;
+                if fallible && check(d).is_err() {
+                    break; // `dst` stays initialized; caller sees the error
+                }
+            }
+        };
+        if fallible {
+            try_run_blocks(sched, nblocks, d, scat)?;
+            check(d)?;
+        } else {
+            run_blocks(sched, nblocks, scat);
+        }
+    }
+    Ok(counts)
+}
+
+/// Stable `nbuckets`-way split of `src` into `dst` under an explicit
+/// schedule, returning the per-bucket counts. `key` maps each element
+/// to its bucket in `0..nbuckets`; elements are grouped by bucket in
+/// the output, preserving input order within each bucket (exactly the
+/// order `⌈d/w⌉` radix passes need).
+///
+/// # Panics
+/// If `nbuckets` is 0 or exceeds [`MAX_BUCKETS`], if `dst.len() !=
+/// src.len()`, or if `key` returns a bucket `>= nbuckets`.
+pub fn multi_split_into_sched<T, K>(
+    sched: Schedule,
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    key: K,
+    scratch: &mut MultiSplitScratch,
+) -> Vec<usize>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    match multi_split_core(sched, src, dst, nbuckets, &key, scratch, None, false) {
+        Ok(counts) => counts,
+        Err(e) => panic!("multi_split: {e}"),
+    }
+}
+
+/// [`multi_split_into_sched`] under the process-default schedule.
+pub fn multi_split_into<T, K>(
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    key: K,
+    scratch: &mut MultiSplitScratch,
+) -> Vec<usize>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    multi_split_into_sched(default_schedule(), src, dst, nbuckets, key, scratch)
+}
+
+/// Allocating convenience: stable multi-way split returning the
+/// reordered vector and the per-bucket counts.
+pub fn multi_split_by<T, K>(a: &[T], nbuckets: usize, key: K) -> (Vec<T>, Vec<usize>)
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    if a.is_empty() {
+        return (Vec::new(), vec![0; nbuckets.max(1)]);
+    }
+    let mut dst = a.to_vec(); // fully overwritten by the scatter
+    let mut scratch = MultiSplitScratch::new();
+    let counts = multi_split_into(a, &mut dst, nbuckets, key, &mut scratch);
+    (dst, counts)
+}
+
+/// Fallible [`multi_split_into_sched`]: cooperates with the ambient
+/// [`ScanDeadline`] (checked at block boundaries and every few
+/// thousand elements), contains operator panics as
+/// [`ExecError::WorkerLost`][crate::ExecError::WorkerLost], and
+/// reports an out-of-range bucket as [`Error::IndexOutOfBounds`]
+/// instead of panicking. On error, `dst`'s contents are unspecified
+/// (but initialized).
+pub fn try_multi_split_into_sched<T, K>(
+    sched: Schedule,
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    key: K,
+    scratch: &mut MultiSplitScratch,
+) -> Result<Vec<usize>>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    let d = deadline::current();
+    multi_split_core(sched, src, dst, nbuckets, &key, scratch, d.as_ref(), true)
+}
+
+/// [`try_multi_split_into_sched`] under the process-default schedule.
+pub fn try_multi_split_into<T, K>(
+    src: &[T],
+    dst: &mut [T],
+    nbuckets: usize,
+    key: K,
+    scratch: &mut MultiSplitScratch,
+) -> Result<Vec<usize>>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    try_multi_split_into_sched(default_schedule(), src, dst, nbuckets, key, scratch)
+}
+
+/// Fallible allocating convenience.
+pub fn try_multi_split_by<T, K>(a: &[T], nbuckets: usize, key: K) -> Result<(Vec<T>, Vec<usize>)>
+where
+    T: ScanElem,
+    K: Fn(T) -> usize + Sync,
+{
+    deadline::checkpoint()?;
+    if a.is_empty() {
+        return Ok((Vec::new(), vec![0; nbuckets.max(1)]));
+    }
+    let mut dst = a.to_vec();
+    let mut scratch = MultiSplitScratch::new();
+    let counts = try_multi_split_into(a, &mut dst, nbuckets, key, &mut scratch)?;
+    Ok((dst, counts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExecError;
+
+    fn keys(seed: u64, n: usize, bits: u32) -> Vec<u64> {
+        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mut x = seed;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & mask
+            })
+            .collect()
+    }
+
+    fn reference<T: ScanElem>(a: &[T], nbuckets: usize, key: impl Fn(T) -> usize) -> (Vec<T>, Vec<usize>) {
+        let mut out = Vec::with_capacity(a.len());
+        let mut counts = vec![0usize; nbuckets];
+        for (k, c) in counts.iter_mut().enumerate() {
+            for &x in a {
+                if key(x) == k {
+                    out.push(x);
+                    *c += 1;
+                }
+            }
+        }
+        (out, counts)
+    }
+
+    #[test]
+    fn splits_small_input_stably() {
+        let a = [5u64, 7, 3, 1, 4, 2, 7, 2];
+        let (got, counts) = multi_split_by(&a, 4, |k| (k & 3) as usize);
+        let (want, want_counts) = reference(&a, 4, |k| (k & 3) as usize);
+        assert_eq!(got, want);
+        assert_eq!(counts, want_counts);
+        assert_eq!(counts.iter().sum::<usize>(), a.len());
+    }
+
+    #[test]
+    fn matches_reference_across_sizes_and_schedules() {
+        for sched in [Schedule::Sequential, Schedule::Pooled, Schedule::Spawn] {
+            for n in [0usize, 1, 5, 1000, crate::parallel::PAR_THRESHOLD - 1, crate::parallel::PAR_THRESHOLD + 3] {
+                let a = keys(0x9E3779B97F4A7C15 ^ n as u64, n, 8);
+                let key = |k: u64| (k & 15) as usize;
+                let mut dst = vec![0u64; n];
+                let mut scratch = MultiSplitScratch::new();
+                let counts = multi_split_into_sched(sched, &a, &mut dst, 16, key, &mut scratch);
+                let (want, want_counts) = reference(&a, 16, key);
+                assert_eq!(dst, want, "sched={sched:?} n={n}");
+                assert_eq!(counts, want_counts, "sched={sched:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_changing_shapes() {
+        let mut scratch = MultiSplitScratch::new();
+        for (n, nbuckets) in [(100usize, 4usize), (17, 256), (3000, 2), (100, 100)] {
+            let a = keys(n as u64 * 31 + nbuckets as u64, n, 32);
+            let key = move |k: u64| (k as usize) % nbuckets;
+            let mut dst = vec![0u64; n];
+            let counts = multi_split_into(&a, &mut dst, nbuckets, key, &mut scratch);
+            let (want, want_counts) = reference(&a, nbuckets, key);
+            assert_eq!(dst, want);
+            assert_eq!(counts, want_counts);
+        }
+    }
+
+    #[test]
+    fn single_bucket_is_identity() {
+        let a = keys(7, 257, 64);
+        let (got, counts) = multi_split_by(&a, 1, |_| 0);
+        assert_eq!(got, a);
+        assert_eq!(counts, vec![257]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (got, counts) = multi_split_by::<u64, _>(&[], 8, |_| 0);
+        assert!(got.is_empty());
+        assert_eq!(counts, vec![0; 8]);
+    }
+
+    #[test]
+    fn tuples_split_stably() {
+        // Pair payloads tag the original index; equal buckets keep order.
+        let a: Vec<(u64, u64)> = [3u64, 1, 3, 1, 3, 0]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u64))
+            .collect();
+        let (got, _) = multi_split_by(&a, 4, |(k, _)| k as usize);
+        assert_eq!(
+            got,
+            vec![(0, 5), (1, 1), (1, 3), (3, 0), (3, 2), (3, 4)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "only 4 buckets exist")]
+    fn out_of_range_bucket_panics() {
+        let a = [1u64, 2, 9];
+        multi_split_by(&a, 4, |k| k as usize);
+    }
+
+    #[test]
+    fn try_reports_out_of_range_bucket() {
+        let a = keys(3, 100, 8);
+        let mut dst = vec![0u64; 100];
+        let mut scratch = MultiSplitScratch::new();
+        let r = try_multi_split_into(&a, &mut dst, 4, |k| k as usize, &mut scratch);
+        assert!(matches!(r, Err(Error::IndexOutOfBounds { len: 4, .. })));
+    }
+
+    #[test]
+    fn try_reports_length_mismatch() {
+        let a = [1u64, 2, 3];
+        let mut dst = vec![0u64; 2];
+        let mut scratch = MultiSplitScratch::new();
+        let r = try_multi_split_into(&a, &mut dst, 2, |k| (k & 1) as usize, &mut scratch);
+        assert_eq!(
+            r,
+            Err(Error::LengthMismatch {
+                expected: 3,
+                actual: 2
+            })
+        );
+    }
+
+    #[test]
+    fn try_honors_cancelled_deadline() {
+        for sched in [Schedule::Sequential, Schedule::Pooled, Schedule::Spawn] {
+            let a = keys(11, crate::parallel::PAR_THRESHOLD * 2, 8);
+            let d = ScanDeadline::manual();
+            d.cancel();
+            let r = deadline::with_deadline(&d, || {
+                try_multi_split_by(&a, 16, |k| (k & 15) as usize).map(|(v, _)| v[0])
+            });
+            let _ = sched; // schedules share the ambient-deadline path
+            assert_eq!(r, Err(Error::Exec(ExecError::Cancelled)));
+        }
+    }
+
+    #[test]
+    fn try_matches_infallible_when_unbounded() {
+        let a = keys(23, crate::parallel::PAR_THRESHOLD + 17, 16);
+        let key = |k: u64| (k & 0xFF) as usize;
+        let (want, want_counts) = multi_split_by(&a, 256, key);
+        let (got, counts) = try_multi_split_by(&a, 256, key).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(counts, want_counts);
+    }
+}

@@ -54,7 +54,7 @@ const MIN_BLOCK: usize = PAR_THRESHOLD / 4;
 /// fallible (`try_*`) paths. Coarse enough that the check (two relaxed
 /// atomic loads once an expiry is latched) vanishes in the combine
 /// work, fine enough that a cancel is observed in microseconds.
-const CANCEL_STRIDE: usize = 4096;
+pub(crate) const CANCEL_STRIDE: usize = 4096;
 
 /// How the blocked engine executes its blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,7 +164,7 @@ impl Mode {
 /// Safety: every engine task writes a disjoint index range, and the
 /// engine joins all tasks (pool completion or scope join, both of which
 /// establish happens-before) before reading the buffer.
-struct SendPtr<T>(*mut T);
+pub(crate) struct SendPtr<T>(*mut T);
 
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
@@ -177,17 +177,23 @@ impl<T> Clone for SendPtr<T> {
 impl<T> Copy for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
+    /// Wrap a raw output pointer; the caller promises the disjoint-write
+    /// + join discipline documented on the type.
+    pub(crate) fn new(p: *mut T) -> Self {
+        SendPtr(p)
+    }
+
     /// Accessor (rather than field access) so closures capture the whole
     /// `SendPtr` — edition-2021 disjoint capture would otherwise grab the
     /// raw `*mut T` field, which is not `Sync`.
-    fn get(self) -> *mut T {
+    pub(crate) fn get(self) -> *mut T {
         self.0
     }
 }
 
 /// Execute `task(0..nblocks)` under the given schedule. Panics in tasks
 /// propagate to the caller under every schedule.
-fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, task: F) {
+pub(crate) fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, task: F) {
     match sched {
         Schedule::Pooled => pool::global().run(nblocks, task),
         Schedule::Spawn => {
@@ -209,7 +215,7 @@ fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, task: F) {
 /// Number of execution lanes the schedule will use. Both parallel
 /// schedules plan against the pool width so their block decomposition
 /// (and hence operator reassociation) is identical.
-fn engine_width(sched: Schedule) -> usize {
+pub(crate) fn engine_width(sched: Schedule) -> usize {
     match sched {
         Schedule::Sequential => 1,
         Schedule::Spawn | Schedule::Pooled => pool::global().threads(),
@@ -217,7 +223,7 @@ fn engine_width(sched: Schedule) -> usize {
 }
 
 /// Should `n` elements run on the blocked parallel path?
-fn go_parallel(sched: Schedule, n: usize) -> bool {
+pub(crate) fn go_parallel(sched: Schedule, n: usize) -> bool {
     n >= PAR_THRESHOLD
         && match sched {
             Schedule::Sequential => false,
@@ -472,7 +478,7 @@ where
 }
 
 /// Check an optional deadline token.
-fn check(d: Option<&ScanDeadline>) -> Result<(), ExecError> {
+pub(crate) fn check(d: Option<&ScanDeadline>) -> Result<(), ExecError> {
     match d {
         Some(d) => d.check(),
         None => Ok(()),
@@ -484,7 +490,7 @@ fn check(d: Option<&ScanDeadline>) -> Result<(), ExecError> {
 /// Under [`Schedule::Pooled`] this is the pool's supervised `try_run`
 /// (panic containment + watchdog). The other schedules contain panics
 /// locally so no schedule lets an operator panic cross this boundary.
-fn try_run_blocks<F: Fn(usize) + Sync>(
+pub(crate) fn try_run_blocks<F: Fn(usize) + Sync>(
     sched: Schedule,
     nblocks: usize,
     deadline: Option<&ScanDeadline>,

@@ -659,6 +659,39 @@ impl Ctx {
         ops::split3(a, buckets)
     }
 
+    /// Stable multi-way split: group `a` by `key` into `nbuckets`
+    /// buckets (one radix-sort digit pass), returning the reordered
+    /// vector and the per-bucket counts.
+    ///
+    /// Charge: 1 elementwise (digit extraction), then per bucket 1
+    /// elementwise and 1 scan (the flag-and-enumerate the scan model
+    /// runs per bucket value), then 1 elementwise (destination
+    /// arithmetic) and 1 permute — identical to the unfused
+    /// `2^w`-enumerate schedule, so Table 1/Table 4 step accounting is
+    /// unchanged; only the execution is fused
+    /// ([`scan_core::multi_split`]: one histogram read, one scan over
+    /// the block × bucket count matrix, one scatter write).
+    ///
+    /// # Panics
+    /// If `nbuckets` is 0 or exceeds
+    /// [`scan_core::multi_split::MAX_BUCKETS`], or `key` returns a
+    /// bucket `>= nbuckets`.
+    pub fn multi_split<T, K>(&mut self, a: &[T], nbuckets: usize, key: K) -> (Vec<T>, Vec<usize>)
+    where
+        T: ScanElem,
+        K: Fn(T) -> usize + Sync,
+    {
+        let n = a.len();
+        self.charge_elementwise(n); // digit extraction
+        for _ in 0..nbuckets {
+            self.charge_elementwise(n); // flag this bucket value
+            self.charge_scan(n); // enumerate it
+        }
+        self.charge_elementwise(n); // base + rank destination arithmetic
+        self.charge_permute(n); // the scatter
+        scan_core::multi_split_by(a, nbuckets, key)
+    }
+
     /// Segmented split within each segment. Charge: 3 segmented scans +
     /// 3 elementwise + 1 permute.
     pub fn seg_split<T: ScanElem>(&mut self, a: &[T], flags: &[bool], segs: &Segments) -> Vec<T> {
@@ -823,6 +856,20 @@ mod tests {
         assert_eq!(s, vec![4, 2, 2, 5, 7, 3, 1, 7]);
         // 2 scans (3 steps each at n=p=8) + 3 elementwise + 1 permute.
         assert_eq!(ctx.stats().ops(), 6);
+    }
+
+    #[test]
+    fn multi_split_groups_stably_and_charges_like_unfused() {
+        let mut ctx = Ctx::new(Model::Scan);
+        let a = [5u64, 7, 3, 1, 4, 2, 7, 2];
+        let (s, counts) = ctx.multi_split(&a, 4, |k| (k & 3) as usize);
+        assert_eq!(s, vec![4, 5, 1, 2, 2, 7, 3, 7]);
+        assert_eq!(counts, vec![1, 2, 2, 3]);
+        // 2^w scans + (2^w + 2) elementwise + 1 permute per pass — the
+        // unfused enumerate-per-bucket schedule's exact op counts.
+        assert_eq!(ctx.stats().ops_of(StepKind::Scan), 4);
+        assert_eq!(ctx.stats().ops_of(StepKind::Elementwise), 6);
+        assert_eq!(ctx.stats().ops_of(StepKind::Permute), 1);
     }
 
     #[test]
