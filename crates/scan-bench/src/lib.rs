@@ -3,6 +3,7 @@
 //! the paper; the Criterion benches measure wall clock on the rayon
 //! kernels.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// A deterministic splitmix64-based generator (no external RNG needed

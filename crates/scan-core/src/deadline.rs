@@ -24,9 +24,12 @@
 //! deadline without every signature growing a token parameter.
 
 use crate::error::ExecError;
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::Arc;
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+// `Instant` deliberately stays on std even under `cfg(loom)`:
+// wall-clock expiry cannot be model-checked. Loom scenarios use
+// `ScanDeadline::manual()` tokens, whose state is a shimmed atomic.
 use std::time::{Duration, Instant};
 
 /// Shared state behind a [`ScanDeadline`]; all clones observe it.

@@ -41,6 +41,7 @@
 //! assert_eq!(scan::<Sum, _>(&a), vec![0, 2, 3, 5, 8, 13, 21, 34]);
 //! ```
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -57,6 +58,7 @@ pub mod scan;
 pub mod segmented;
 pub mod segops;
 pub mod simulate;
+pub mod sync;
 pub mod vector;
 
 pub use allocate::{allocate, distribute, try_distribute, Allocation};

@@ -35,7 +35,7 @@ use crate::parallel::{
     block_range, check, default_schedule, engine_width, go_parallel, plan_blocks, run_blocks,
     try_run_blocks, Schedule, SendPtr, CANCEL_STRIDE,
 };
-use core::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::atomic::{AtomicUsize, Ordering};
 
 /// Maximum bucket count a single `multi_split` accepts (the digit
 /// cache is `u16`, so bucket ids must fit 16 bits).
@@ -129,7 +129,7 @@ where
                         break 'chunks;
                     }
                     local[k] += 1;
-                    // Safety: `i + lo` is in this block's disjoint range.
+                    // SAFETY: `i + lo` is in this block's disjoint range.
                     unsafe { dig.add(lo + i).write(k as u16) };
                 }
                 lo = hi;
@@ -139,7 +139,7 @@ where
             }
             let cnt = cnt.get();
             for (k, &c) in local.iter().enumerate() {
-                // Safety: column-major slot (k, b) is written only by block b.
+                // SAFETY: column-major slot (k, b) is written only by block b.
                 unsafe { cnt.add(k * nblocks + b).write(c) };
             }
         };
@@ -201,7 +201,7 @@ where
                     let k = digits[lo + i] as usize;
                     let p = cur[k];
                     cur[k] = p + 1;
-                    // Safety: positions are an exact partition of 0..n —
+                    // SAFETY: positions are an exact partition of 0..n —
                     // block b's bucket-k cursor starts at the scanned
                     // matrix slot (k, b) and advances once per cached
                     // digit, so no two writes (in any block) collide.

@@ -333,7 +333,7 @@ pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
     let (dest, total) =
         parallel::scan_map_with_total_by(keep, usize::from, 0, |a, b| a + b);
     let mut out: Vec<T> = Vec::with_capacity(total);
-    // Safety: `enumerate` assigns the kept elements the distinct indices
+    // SAFETY: `enumerate` assigns the kept elements the distinct indices
     // 0..total in order, so every slot is written exactly once.
     unsafe {
         let p = out.as_mut_ptr();

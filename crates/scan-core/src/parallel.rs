@@ -39,7 +39,7 @@ use crate::deadline::ScanDeadline;
 use crate::error::ExecError;
 use crate::pool;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
 
 /// Inputs shorter than this are scanned sequentially; the extra pass
 /// and cross-thread handoff do not pay for themselves below roughly
@@ -49,6 +49,40 @@ pub const PAR_THRESHOLD: usize = 1 << 14;
 /// Smallest block worth handing to a worker (amortizes the handoff and
 /// the second pass).
 const MIN_BLOCK: usize = PAR_THRESHOLD / 4;
+
+/// Test-only override of [`PAR_THRESHOLD`] (0 = off, the default).
+///
+/// The unsafe kernels only run above the threshold, so proving them
+/// with Miri at the production size (16Ki elements, interpreted
+/// instruction by instruction) would take hours. The sanitizer test
+/// profile sets this to a few hundred so the blocked path — disjoint
+/// uninitialized writes, `set_len`, cross-thread handoff — runs on
+/// Miri-sized inputs. [`MIN_BLOCK`] scales with it (override / 4) so
+/// the block plan keeps its production shape.
+static PAR_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the [`PAR_THRESHOLD`] override (`0` restores the default).
+/// Process-wide; for sanitizer/test profiles only.
+#[doc(hidden)]
+pub fn set_par_threshold_override(n: usize) {
+    PAR_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Effective parallel threshold (the override, if set).
+pub(crate) fn par_threshold() -> usize {
+    match PAR_OVERRIDE.load(Ordering::Relaxed) {
+        0 => PAR_THRESHOLD,
+        n => n,
+    }
+}
+
+/// Effective minimum block size, scaled to the active threshold.
+fn min_block() -> usize {
+    match PAR_OVERRIDE.load(Ordering::Relaxed) {
+        0 => MIN_BLOCK,
+        n => (n / 4).max(1),
+    }
+}
 
 /// Elements processed between cancellation checks inside a block on the
 /// fallible (`try_*`) paths. Coarse enough that the check (two relaxed
@@ -161,12 +195,20 @@ impl Mode {
 
 /// Raw output pointer that may cross thread boundaries.
 ///
-/// Safety: every engine task writes a disjoint index range, and the
+/// SAFETY: every engine task writes a disjoint index range, and the
 /// engine joins all tasks (pool completion or scope join, both of which
 /// establish happens-before) before reading the buffer.
 pub(crate) struct SendPtr<T>(*mut T);
 
+// SAFETY: `SendPtr` is a capability to write disjoint indices of one
+// buffer from multiple threads (see the type docs); the pointee is
+// `Send`, every task writes a range no other task touches, and the
+// engine joins all tasks before reading, so cross-thread moves of the
+// wrapper are sound.
 unsafe impl<T: Send> Send for SendPtr<T> {}
+// SAFETY: shared references to `SendPtr` only expose the raw pointer
+// (`get`), never a `&T`/`&mut T`; aliasing discipline is enforced at
+// the write sites (disjoint index ranges per task, see above).
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 impl<T> Clone for SendPtr<T> {
@@ -195,7 +237,18 @@ impl<T> SendPtr<T> {
 /// propagate to the caller under every schedule.
 pub(crate) fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, task: F) {
     match sched {
+        // Under `cfg(loom)` there is no global pool (a static would
+        // leak state across explored executions), so the pooled
+        // schedule degrades to the sequential loop; the loom suite
+        // models `WorkerPool` directly instead.
+        #[cfg(not(loom))]
         Schedule::Pooled => pool::global().run(nblocks, task),
+        #[cfg(loom)]
+        Schedule::Pooled => {
+            for b in 0..nblocks {
+                task(b);
+            }
+        }
         Schedule::Spawn => {
             std::thread::scope(|s| {
                 for b in 0..nblocks {
@@ -218,20 +271,20 @@ pub(crate) fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, t
 pub(crate) fn engine_width(sched: Schedule) -> usize {
     match sched {
         Schedule::Sequential => 1,
-        Schedule::Spawn | Schedule::Pooled => pool::global().threads(),
+        Schedule::Spawn | Schedule::Pooled => pool::global_threads(),
     }
 }
 
 /// Should `n` elements run on the blocked parallel path?
 pub(crate) fn go_parallel(sched: Schedule, n: usize) -> bool {
-    n >= PAR_THRESHOLD
+    n >= par_threshold()
         && match sched {
             Schedule::Sequential => false,
             // Spawning works regardless of pool width (the seed engine
             // spawned threads even on one core); the pool degrades to
             // sequential when it has a single lane.
             Schedule::Spawn => true,
-            Schedule::Pooled => pool::global().threads() > 1,
+            Schedule::Pooled => pool::global_threads() > 1,
         }
 }
 
@@ -244,7 +297,7 @@ pub(crate) fn plan_blocks(n: usize, workers: usize) -> usize {
         return 0;
     }
     let workers = workers.max(1);
-    let mut b = (n / MIN_BLOCK).clamp(1, 4 * workers);
+    let mut b = (n / min_block()).clamp(1, 4 * workers);
     if b > workers {
         b -= b % workers;
     }
@@ -284,7 +337,7 @@ where
                 }
             }
         }
-        // Safety: the loop above wrote every index in `0..n`.
+        // SAFETY: the loop above wrote every index in `0..n`.
         unsafe { out.set_len(n) };
     } else {
         for i in 0..n {
@@ -350,7 +403,7 @@ where
                     acc = f(acc, load(i));
                 }
             }
-            // Safety: task `b` writes only index `b` (see `SendPtr`).
+            // SAFETY: task `b` writes only index `b` (see `SendPtr`).
             unsafe { p.get().add(b).write(acc) };
         });
     }
@@ -386,16 +439,18 @@ where
         run_blocks(sched, nblocks, move |b| {
             let r = block_range(n, nblocks, b);
             let mut acc = offsets[b];
-            // Safety: blocks are disjoint and cover `0..n`, so every
-            // slot is written exactly once before `set_len` below.
+            // SAFETY: blocks are disjoint and cover `0..n`, so task `b`
+            // writes each of its indices exactly once into the
+            // uninitialized buffer before the `set_len` below.
+            let put = |i: usize, v: U| unsafe { o.get().add(i).write(v) };
             if mode.backward() {
                 for i in r.rev() {
                     let x = load(i);
                     if mode.inclusive() {
                         acc = f(acc, x);
-                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        put(i, emit(i, acc));
                     } else {
-                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        put(i, emit(i, acc));
                         acc = f(acc, x);
                     }
                 }
@@ -404,16 +459,16 @@ where
                     let x = load(i);
                     if mode.inclusive() {
                         acc = f(acc, x);
-                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        put(i, emit(i, acc));
                     } else {
-                        unsafe { o.get().add(i).write(emit(i, acc)) };
+                        put(i, emit(i, acc));
                         acc = f(acc, x);
                     }
                 }
             }
         });
     }
-    // Safety: every index in `0..n` was initialized by exactly one block.
+    // SAFETY: every index in `0..n` was initialized by exactly one block.
     unsafe { out.set_len(n) };
     (out, total)
 }
@@ -443,7 +498,7 @@ where
             for i in block_range(n, nblocks, b) {
                 acc = f(acc, load(i));
             }
-            // Safety: task `b` writes only index `b`.
+            // SAFETY: task `b` writes only index `b`.
             unsafe { p.get().add(b).write(acc) };
         });
     }
@@ -467,12 +522,12 @@ where
         let g = &g;
         run_blocks(sched, nblocks, move |b| {
             for i in block_range(n, nblocks, b) {
-                // Safety: blocks are disjoint and cover `0..n`.
+                // SAFETY: blocks are disjoint and cover `0..n`.
                 unsafe { o.get().add(i).write(g(i)) };
             }
         });
     }
-    // Safety: every index in `0..n` was initialized by exactly one block.
+    // SAFETY: every index in `0..n` was initialized by exactly one block.
     unsafe { out.set_len(n) };
     out
 }
@@ -497,7 +552,19 @@ pub(crate) fn try_run_blocks<F: Fn(usize) + Sync>(
     task: F,
 ) -> Result<(), ExecError> {
     match sched {
+        // See `run_blocks`: no global pool under `cfg(loom)`.
+        #[cfg(not(loom))]
         Schedule::Pooled => pool::global().try_run(nblocks, deadline, task),
+        #[cfg(loom)]
+        Schedule::Pooled => {
+            for b in 0..nblocks {
+                if check(deadline).is_err() {
+                    break;
+                }
+                task(b);
+            }
+            check(deadline)
+        }
         Schedule::Spawn => {
             let r = catch_unwind(AssertUnwindSafe(|| {
                 std::thread::scope(|s| {
@@ -572,7 +639,7 @@ where
                 }
             }
         }
-        // Safety: the loop above wrote every index in `0..n` (an early
+        // SAFETY: the loop above wrote every index in `0..n` (an early
         // deadline return leaves `out` at length 0, which is fine).
         unsafe { out.set_len(n) };
     } else {
@@ -698,7 +765,7 @@ where
             }
             // A bailed block writes a garbage partial; the post-phase
             // deadline check below discards the whole pass.
-            // Safety: task `b` writes only index `b` (see `SendPtr`).
+            // SAFETY: task `b` writes only index `b` (see `SendPtr`).
             unsafe { p.get().add(b).write(acc) };
         })?;
     }
@@ -734,18 +801,19 @@ where
             let r = block_range(n, nblocks, b);
             let mut acc = offsets[b];
             let mut bailed = false;
+            // SAFETY: blocks are disjoint and cover `0..n`, so each
+            // write targets an index unique to this block; `set_len`
+            // only runs if no block bailed (post-phase deadline check).
+            let put = |i: usize, v: U| unsafe { o.get().add(i).write(v) };
             let emit_range = |lo: usize, hi: usize, acc: &mut S| {
                 if mode.backward() {
                     for i in (lo..hi).rev() {
                         let x = load(i);
                         if mode.inclusive() {
                             *acc = f(*acc, x);
-                            // Safety: blocks are disjoint and cover
-                            // `0..n`; `set_len` only runs if no block
-                            // bailed (see the deadline check below).
-                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            put(i, emit(i, *acc));
                         } else {
-                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            put(i, emit(i, *acc));
                             *acc = f(*acc, x);
                         }
                     }
@@ -754,9 +822,9 @@ where
                         let x = load(i);
                         if mode.inclusive() {
                             *acc = f(*acc, x);
-                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            put(i, emit(i, *acc));
                         } else {
-                            unsafe { o.get().add(i).write(emit(i, *acc)) };
+                            put(i, emit(i, *acc));
                             *acc = f(*acc, x);
                         }
                     }
@@ -784,7 +852,7 @@ where
     // Authoritative for the down sweep: a bailed block means the token
     // is latched, so we never `set_len` over uninitialized slots.
     check(d)?;
-    // Safety: every index in `0..n` was initialized by exactly one block.
+    // SAFETY: every index in `0..n` was initialized by exactly one block.
     unsafe { out.set_len(n) };
     Ok((out, total))
 }
@@ -840,7 +908,7 @@ where
                     lo = hi;
                     bailed = lo < r.end && check(d).is_err();
                 }
-                // Safety: task `b` writes only index `b`.
+                // SAFETY: task `b` writes only index `b`.
                 unsafe { p.get().add(b).write(acc) };
             })?;
         }
@@ -1419,7 +1487,7 @@ mod tests {
         let a: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 1.0)).collect();
         let pooled = exclusive_scan_by_sched(Schedule::Pooled, &a, 0.0, |x, y| x + y);
         let spawn = exclusive_scan_by_sched(Schedule::Spawn, &a, 0.0, |x, y| x + y);
-        if pool::global().threads() > 1 {
+        if pool::global_threads() > 1 {
             assert_eq!(pooled, spawn);
         } else {
             // Width-1 pool: Pooled falls back to the sequential kernel.

@@ -44,9 +44,12 @@
 
 use crate::deadline::ScanDeadline;
 use crate::error::ExecError;
+use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use crate::sync::{thread, Arc, Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::PoisonError;
+#[cfg(not(loom))]
+use std::sync::OnceLock;
 use std::time::Duration;
 
 /// Hard cap on the pool width, far above any sane `SCAN_CORE_THREADS`.
@@ -76,13 +79,18 @@ fn wait_for<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>, dur: Duration) -> MutexGu
 
 /// Type-erased pointer to the job's task closure.
 ///
-/// Safety: `WorkerPool::run` keeps the pointee alive until every task of
+/// SAFETY: `WorkerPool::run` keeps the pointee alive until every task of
 /// the job has finished (it blocks on the job's completion count), and
 /// no worker dereferences the pointer after claiming a task index `>=
 /// ntasks`, so the pointer is never read after `run` returns.
 struct TaskPtr(*const (dyn Fn(usize) + Sync));
 
+// SAFETY: the pointee is `Sync` (`dyn Fn(usize) + Sync`) and stays
+// alive for every dereference — `drive` blocks until all tasks finish
+// before its borrow of the closure ends (see the type docs above).
 unsafe impl Send for TaskPtr {}
+// SAFETY: sharing `&TaskPtr` across workers only ever yields `&dyn Fn`
+// calls on a `Sync` closure; no mutation is reachable through it.
 unsafe impl Sync for TaskPtr {}
 
 /// Completion state of one job.
@@ -130,7 +138,7 @@ impl Job {
                 // Drain: count the task finished without running it.
                 Ok(())
             } else {
-                // Safety: `i < ntasks`, so the submitter is still inside
+                // SAFETY: `i < ntasks`, so the submitter is still inside
                 // `run`/`try_run` and the closure is alive (see
                 // `TaskPtr`).
                 let task = unsafe { &*self.task.0 };
@@ -222,10 +230,10 @@ fn worker_body(shared: Arc<Shared>, name: String) {
 /// Spawn one worker thread. A failed spawn is tolerated — the pool just
 /// runs narrower (and a failed *respawn* leaves the submitter and the
 /// surviving workers to finish jobs, which they always can).
-fn spawn_worker(shared: &Arc<Shared>, name: String) -> Option<std::thread::JoinHandle<()>> {
+fn spawn_worker(shared: &Arc<Shared>, name: String) -> Option<thread::JoinHandle<()>> {
     let sh = Arc::clone(shared);
     let n = name.clone();
-    std::thread::Builder::new()
+    thread::Builder::new()
         .name(name)
         .spawn(move || worker_body(sh, n))
         .ok()
@@ -242,7 +250,7 @@ pub struct WorkerPool {
     /// callers on the inline path instead of deadlocking.
     submit: Mutex<()>,
     threads: usize,
-    handles: Vec<std::thread::JoinHandle<()>>,
+    handles: Vec<thread::JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -409,10 +417,11 @@ impl WorkerPool {
         deadline: Option<&ScanDeadline>,
         task: &(dyn Fn(usize) + Sync),
     ) -> (u32, Option<Box<dyn std::any::Any + Send>>) {
-        // Erase the borrow lifetime for the `'static` trait-object field:
-        // `drive` blocks until every task finishes, so `task` outlives
-        // all dereferences of the pointer (see `TaskPtr`).
         let wide: *const (dyn Fn(usize) + Sync + '_) = task;
+        // SAFETY: lifetime-erasing transmute only (pointer-to-pointer,
+        // same vtable layout): `drive` blocks until every task has
+        // finished, so `task` outlives all dereferences of the erased
+        // pointer (see `TaskPtr`).
         #[allow(clippy::missing_transmute_annotations)]
         let erased: TaskPtr = TaskPtr(unsafe { std::mem::transmute(wide) });
         let job = Arc::new(Job {
@@ -481,14 +490,26 @@ impl Drop for WorkerPool {
     }
 }
 
+/// Parse a `SCAN_CORE_THREADS` value: a positive integer (surrounding
+/// whitespace tolerated), capped at [`MAX_THREADS`]. Zero, negative,
+/// empty, and garbage values are rejected (`None`), which makes the
+/// pool fall back to `available_parallelism()` rather than building a
+/// zero-width or absurdly wide pool.
+#[cfg_attr(loom, allow(dead_code))] // only `global()` (not(loom)) calls it
+fn parse_threads(raw: &str) -> Option<usize> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n.min(MAX_THREADS)),
+        _ => None,
+    }
+}
+
 /// Pool width for the global pool: `SCAN_CORE_THREADS` if set to a
 /// positive integer, else `available_parallelism()`.
+#[cfg(not(loom))]
 fn configured_threads() -> usize {
     if let Ok(v) = std::env::var("SCAN_CORE_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n.min(MAX_THREADS);
-            }
+        if let Some(n) = parse_threads(&v) {
+            return n;
         }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
@@ -497,9 +518,27 @@ fn configured_threads() -> usize {
 /// The process-wide pool, built on first use. `SCAN_CORE_THREADS=k`
 /// (read once, at that first use) overrides the width; `k = 1` disables
 /// parallel execution entirely.
+///
+/// Not available under `cfg(loom)`: a `static` pool would leak model
+/// state across explored executions. Loom scenarios build private
+/// pools inside `loom::model` instead.
+#[cfg(not(loom))]
 pub fn global() -> &'static WorkerPool {
     static POOL: OnceLock<WorkerPool> = OnceLock::new();
     POOL.get_or_init(|| WorkerPool::new(configured_threads()))
+}
+
+/// Width of the [`global`] pool (1 under `cfg(loom)`, where no global
+/// pool exists and the pooled schedule degrades to sequential).
+pub(crate) fn global_threads() -> usize {
+    #[cfg(not(loom))]
+    {
+        global().threads()
+    }
+    #[cfg(loom)]
+    {
+        1
+    }
 }
 
 #[cfg(test)]
@@ -612,6 +651,7 @@ mod tests {
         assert_eq!(inner_hits.load(Ordering::Relaxed), 16);
     }
 
+    #[cfg(not(loom))]
     #[test]
     fn global_pool_is_a_singleton() {
         let a = global() as *const WorkerPool;
@@ -722,6 +762,73 @@ mod tests {
         assert!(gate.job.is_none());
         // One bump to post the job, one to retire it.
         assert_eq!(gate.epoch, e0 + 2);
+    }
+
+    #[test]
+    fn thread_count_parsing_rejects_junk() {
+        // Rejected: zero width, signs, garbage, empty/whitespace.
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("   "), None);
+        assert_eq!(parse_threads("3.5"), None);
+        assert_eq!(parse_threads("8 cores"), None);
+    }
+
+    #[test]
+    fn thread_count_parsing_accepts_and_caps() {
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("  8  "), Some(8));
+        assert_eq!(parse_threads("512"), Some(MAX_THREADS));
+        // Huge-but-parseable values clamp to the cap instead of
+        // attempting to spawn millions of workers.
+        assert_eq!(parse_threads("99999999"), Some(MAX_THREADS));
+        assert_eq!(parse_threads(&usize::MAX.to_string()), Some(MAX_THREADS));
+        // Overflowing usize is a parse error, not a panic.
+        assert_eq!(parse_threads("999999999999999999999999999"), None);
+    }
+
+    #[test]
+    fn width_one_pool_spawns_no_workers() {
+        // `new(0)` clamps up to 1; neither width spawns OS threads.
+        for req in [0usize, 1] {
+            let pool = WorkerPool::new(req);
+            assert_eq!(pool.threads(), 1);
+            assert!(pool.handles.is_empty(), "width-1 pool spawned workers");
+            assert_eq!(pool.respawns(), 0);
+        }
+    }
+
+    #[test]
+    fn width_one_try_run_honors_cancellation() {
+        let pool = WorkerPool::new(1);
+        let d = ScanDeadline::manual();
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_run(8, Some(&d), |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 2 {
+                    d.cancel();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        // Sequential fallback: tasks 0..=2 ran, the cancellation was
+        // seen before task 3, nothing after it executed.
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn width_one_nested_run_is_inline() {
+        let pool = WorkerPool::new(1);
+        let inner_hits = AtomicUsize::new(0);
+        pool.run(3, |_| {
+            pool.run(3, |_| {
+                inner_hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner_hits.load(Ordering::Relaxed), 9);
     }
 
     #[test]

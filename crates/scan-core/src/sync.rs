@@ -1,0 +1,49 @@
+//! The crate's single swap point for synchronization primitives.
+//!
+//! Every concurrent module in `scan-core` (`pool`, `deadline`,
+//! `parallel`, `multi_split`) imports its sync types from here instead
+//! of `std::sync` directly. In a normal build the re-exports *are* the
+//! `std` types — zero cost, zero behavior change. Building with
+//! `RUSTFLAGS="--cfg loom"` swaps in the [`loom`] model-checker
+//! equivalents, which turn every atomic access, lock acquisition, and
+//! condvar wait into a scheduling decision the interleaving search can
+//! permute. `tests/loom_pool.rs` runs the pool's concurrency scenarios
+//! under that search.
+//!
+//! Two deliberate exceptions stay on `std` even under loom:
+//!
+//! - `std::thread::scope` in [`crate::parallel`]'s `Spawn` arm — the
+//!   loom suite never exercises that schedule, and scoped spawns have
+//!   no loom equivalent;
+//! - `std::time::Instant` in [`crate::deadline`] — wall-clock expiry
+//!   is untestable under a model checker; loom scenarios use
+//!   [`crate::deadline::ScanDeadline::manual`] tokens, whose state is
+//!   a shimmed atomic and therefore fully explored.
+
+#[cfg(loom)]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard};
+#[cfg(loom)]
+pub use loom::thread;
+
+/// Atomic types behind the swap point (`std::sync::atomic` or
+/// `loom::sync::atomic`).
+#[cfg(loom)]
+pub mod atomic {
+    pub use loom::sync::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}
+
+#[cfg(not(loom))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+#[cfg(not(loom))]
+pub use std::thread;
+
+/// Atomic types behind the swap point (`std::sync::atomic` or
+/// `loom::sync::atomic`).
+#[cfg(not(loom))]
+pub mod atomic {
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+    };
+}

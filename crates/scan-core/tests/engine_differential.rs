@@ -8,6 +8,9 @@
 //! [`setup`] pins `SCAN_CORE_THREADS=4` before the pool is first
 //! touched so the blocked kernels genuinely run multi-threaded here.
 
+// Not meaningful under the loom model-checking cfg (no global pool).
+#![cfg(not(loom))]
+
 use proptest::prelude::*;
 use scan_core::parallel::{self, Schedule, PAR_THRESHOLD};
 use scan_core::segmented::{

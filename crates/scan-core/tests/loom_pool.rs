@@ -1,0 +1,162 @@
+//! Model-checked concurrency scenarios for the worker pool.
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p scan-core --test loom_pool --release
+//! ```
+//!
+//! Each test wraps a small pool interaction in `loom::model`, which
+//! re-executes it under every thread interleaving the sync operations
+//! permit (bounded — see `shims/loom`). Invariants asserted inside the
+//! closure therefore hold on *every* explored schedule, not just the
+//! ones a timing-based stress test happens to sample. These are the
+//! interleavings `scan-fault`'s chaos proptests can only sample; here
+//! they are enumerated.
+//!
+//! Scenarios stay deliberately tiny (pool width 2, ≤ 3 tasks): the
+//! schedule tree grows exponentially with choice points, and a width-2
+//! pool already exhibits every coordination edge the pool has —
+//! epoch broadcast, lock-free claiming, submitter participation,
+//! re-entrant fallback, deadline latching, panic containment, and
+//! shutdown.
+
+#![cfg(loom)]
+
+use scan_core::pool::WorkerPool;
+use scan_core::sync::atomic::{AtomicUsize, Ordering};
+use scan_core::sync::{Arc, Mutex};
+use scan_core::{ExecError, ScanDeadline};
+
+/// Epoch broadcast + lock-free claiming: every task index is executed
+/// exactly once, no matter how the worker's wakeup interleaves with
+/// the submitter's participation.
+#[test]
+fn every_task_runs_exactly_once() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let hits: Vec<AtomicUsize> = (0..3).map(|_| AtomicUsize::new(0)).collect();
+        pool.run(3, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "task ran != 1 times");
+        }
+    });
+}
+
+/// Submitter participation: the job completes and its writes are
+/// visible to the caller even on schedules where the parked worker
+/// never claims a single task.
+#[test]
+fn job_completes_without_worker_help() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let mut out = vec![0usize; 2];
+        {
+            let slots: Vec<Mutex<&mut usize>> = out.iter_mut().map(Mutex::new).collect();
+            pool.run(2, |i| {
+                **slots[i].lock().unwrap() = i + 10;
+            });
+        }
+        // `run` returning happens-after every task on every schedule.
+        assert_eq!(out, vec![10, 11]);
+    });
+}
+
+/// Re-entrant fallback: a task submitting to its own pool takes the
+/// inline path (contended `try_lock`) instead of deadlocking, on every
+/// schedule.
+#[test]
+fn reentrant_run_falls_back_inline() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let inner = AtomicUsize::new(0);
+        pool.run(2, |_| {
+            pool.run(2, |_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner.load(Ordering::Relaxed), 4);
+    });
+}
+
+/// Two concurrent submitters: whichever wins the submission lock, both
+/// jobs complete in full (the loser runs inline).
+#[test]
+fn concurrent_submitters_both_complete() {
+    loom::model(|| {
+        let pool = Arc::new(WorkerPool::new(2));
+        let total = Arc::new(AtomicUsize::new(0));
+        let (p2, t2) = (Arc::clone(&pool), Arc::clone(&total));
+        let second = loom::thread::spawn(move || {
+            p2.run(2, |_| {
+                t2.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        pool.run(2, |_| {
+            total.fetch_add(1, Ordering::Relaxed);
+        });
+        second.join().unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    });
+}
+
+/// Deadline latch vs. task claim: a task cancels the manual token
+/// mid-job. On every interleaving of the cancel store with the other
+/// claims, `try_run` reports `Cancelled`, the cancelling task itself
+/// ran, and no task runs after the cancel is observed.
+#[test]
+fn cancel_mid_job_latches_and_drains() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let d = ScanDeadline::manual();
+        let ran = AtomicUsize::new(0);
+        let err = pool
+            .try_run(3, Some(&d), |i| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                if i == 0 {
+                    d.cancel();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::Cancelled);
+        let ran = ran.load(Ordering::Relaxed);
+        // Task 0 always executes (it is the one that cancels); the
+        // other two may have been claimed before or after the latch.
+        assert!((1..=3).contains(&ran), "ran = {ran}");
+    });
+}
+
+/// Panic containment: a panicking task is contained by `try_run` as a
+/// typed `WorkerLost` on every schedule (whether the worker or the
+/// submitter claims the doomed index), and the pool stays usable.
+#[test]
+fn panic_is_contained_and_pool_survives() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        let err = pool
+            .try_run(2, None, |i| {
+                assert!(i != 1, "induced task failure");
+            })
+            .unwrap_err();
+        assert_eq!(err, ExecError::WorkerLost { panics: 1 });
+        // The gate was left clean: the next submission runs normally.
+        let hits = AtomicUsize::new(0);
+        pool.run(2, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+    });
+}
+
+/// Shutdown: dropping the pool terminates a parked worker on every
+/// interleaving of the shutdown broadcast with the worker's epoch
+/// checks (including drop-before-the-worker-ever-waits).
+#[test]
+fn drop_terminates_parked_worker() {
+    loom::model(|| {
+        let pool = WorkerPool::new(2);
+        drop(pool); // must join the worker without deadlocking
+    });
+}

@@ -2,6 +2,9 @@
 //! operations: every kernel must agree with a trivially-correct
 //! sequential reference on arbitrary inputs.
 
+// Not meaningful under the loom model-checking cfg (no global pool).
+#![cfg(not(loom))]
+
 use proptest::prelude::*;
 use scan_core::op::{And, Max, Min, Or, ScanOp, Sum};
 use scan_core::ops::{self, Bucket};

@@ -9,6 +9,8 @@
 //! baselines; the point is that `cargo bench` runs hermetically and
 //! yields honest relative numbers.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,522 @@
+//! The exploration runtime: a cooperative scheduler over real OS
+//! threads, plus a depth-first search over scheduling choice points.
+//!
+//! ## How exploration works
+//!
+//! Inside [`crate::model`] exactly one *model thread* runs at a time;
+//! every instrumented operation (atomic access, mutex acquire, condvar
+//! wait/notify, spawn, join, yield) is a **choice point** where the
+//! scheduler decides which runnable thread executes next. One execution
+//! of the model closure therefore corresponds to one *schedule*: the
+//! sequence of decisions taken at each choice point.
+//!
+//! The driver records that sequence (the *trace*) and then backtracks:
+//! it finds the deepest decision with an unexplored alternative, forces
+//! that prefix on the next execution, and lets the default policy
+//! (*stay on the current thread*) complete the schedule. This is a
+//! depth-first enumeration of the schedule tree.
+//!
+//! ## Bounding
+//!
+//! Full enumeration is exponential, so exploration is **preemption
+//! bounded** (CHESS-style): an alternative that switches away from a
+//! thread that could have continued costs one preemption, and schedules
+//! with more than [`max_preemptions`](Scheduler) of them are skipped.
+//! Context-bounded search with 2–3 preemptions is known to reach the
+//! overwhelming majority of real concurrency bugs while keeping the
+//! tree polynomial. Voluntary switches (blocking on a lock, a condvar
+//! wait, thread exit) are free. `LOOM_MAX_PREEMPTIONS` overrides the
+//! bound; `LOOM_MAX_BRANCHES` caps the number of executions.
+//!
+//! ## Modeling choices (differences from real loom)
+//!
+//! - Memory is sequentially consistent: orderings are accepted and
+//!   ignored. The checker explores *interleavings*, not weak-memory
+//!   reorderings.
+//! - Condvar waits have no spurious wakeups; a **timed** wait only
+//!   "times out" when the model would otherwise be deadlocked (the
+//!   quiescence rule). This models "the timeout eventually fires"
+//!   without exploding the schedule tree.
+//! - A deadlock (every thread blocked, no timed waiter to wake) fails
+//!   the model with a diagnostic.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Identity of a sync object: its address for as long as it is
+/// borrowed by a waiter (objects with registered state are pinned by
+/// the `&self` borrows of the threads blocked on them).
+pub(crate) type Key = usize;
+
+pub(crate) const DEFAULT_MAX_PREEMPTIONS: usize = 2;
+pub(crate) const DEFAULT_MAX_EXECUTIONS: usize = 20_000;
+/// Hard per-execution step bound: hitting it means a livelock.
+const MAX_STEPS: usize = 200_000;
+
+/// Run state of one model thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Runnable,
+    /// Blocked acquiring the mutex with this key.
+    Lock(Key),
+    /// Blocked in a condvar wait (`timed` = `wait_timeout`).
+    Cv { cv: Key, timed: bool },
+    /// Blocked joining the thread with this id.
+    Join(usize),
+    Finished,
+}
+
+struct Th {
+    run: Run,
+    /// Set when a timed condvar wait was woken by the quiescence rule
+    /// rather than by a notify.
+    timed_out: bool,
+}
+
+/// One scheduling decision: which thread (among the enabled ones) got
+/// the token, taken by which thread, and whether that thread could
+/// have continued (for preemption accounting).
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    enabled: Vec<usize>,
+    chosen_pos: usize,
+    me: usize,
+    me_enabled: bool,
+}
+
+impl Decision {
+    fn preempting(&self) -> bool {
+        self.me_enabled && self.enabled[self.chosen_pos] != self.me
+    }
+}
+
+struct State {
+    threads: Vec<Th>,
+    /// The thread currently holding the execution token.
+    active: usize,
+    /// Mutex hold state, keyed by address.
+    locks: HashMap<Key, bool>,
+    /// Decisions taken so far in this execution.
+    trace: Vec<Decision>,
+    /// Decision prefix (as positions into each enabled set) replayed
+    /// from the previous execution during backtracking.
+    forced: Vec<usize>,
+    steps: usize,
+    failure: Option<String>,
+}
+
+impl State {
+    fn enabled(&self) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.run == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn all_finished(&self) -> bool {
+        self.threads.iter().all(|t| t.run == Run::Finished)
+    }
+}
+
+/// Shared scheduler for one execution of the model closure.
+pub(crate) struct Scheduler {
+    st: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    /// The scheduler + thread id of the current model thread, if any.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn lock_state(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Scheduler {
+    fn new(forced: Vec<usize>) -> Self {
+        Scheduler {
+            st: Mutex::new(State {
+                threads: Vec::new(),
+                active: 0,
+                locks: HashMap::new(),
+                trace: Vec::new(),
+                forced,
+                steps: 0,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register a new model thread; returns its id. The thread starts
+    /// Runnable but does not run until the scheduler grants it the
+    /// token.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = lock_state(&self.st);
+        st.threads.push(Th {
+            run: Run::Runnable,
+            timed_out: false,
+        });
+        st.threads.len() - 1
+    }
+
+    /// Record a failure, wake every parked thread so the execution can
+    /// shut down, and leave the diagnostic for the driver.
+    fn fail(&self, st: &mut MutexGuard<'_, State>, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Pick the next thread at a choice point and record the decision.
+    /// Returns the chosen thread, or `None` on failure (the caller
+    /// must panic out of the model).
+    fn decide(&self, st: &mut MutexGuard<'_, State>, me: usize) -> Option<usize> {
+        st.steps += 1;
+        if st.steps > MAX_STEPS {
+            self.fail(st, format!("livelock: exceeded {MAX_STEPS} scheduling steps"));
+            return None;
+        }
+        let mut enabled = st.enabled();
+        if enabled.is_empty() {
+            // Quiescence rule: with nothing runnable, a timed condvar
+            // wait is allowed to "time out". Wake the first one.
+            if let Some(t) = st
+                .threads
+                .iter()
+                .position(|t| matches!(t.run, Run::Cv { timed: true, .. }))
+            {
+                st.threads[t].run = Run::Runnable;
+                st.threads[t].timed_out = true;
+                enabled = vec![t];
+            } else {
+                let snapshot: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("thread {i}: {:?}", t.run))
+                    .collect();
+                self.fail(st, format!("deadlock: every thread is blocked\n  {}", snapshot.join("\n  ")));
+                return None;
+            }
+        }
+        let me_enabled = enabled.contains(&me);
+        let pos = if st.trace.len() < st.forced.len() {
+            // Replay: executions are deterministic given the decision
+            // sequence, so the enabled set matches the recorded run;
+            // clamp defensively anyway.
+            st.forced[st.trace.len()].min(enabled.len() - 1)
+        } else {
+            // Default policy: stay on the current thread when possible
+            // (zero preemptions), else run the lowest-id enabled one.
+            enabled.iter().position(|&t| t == me).unwrap_or(0)
+        };
+        let chosen = enabled[pos];
+        st.trace.push(Decision {
+            enabled,
+            chosen_pos: pos,
+            me,
+            me_enabled,
+        });
+        Some(chosen)
+    }
+
+    /// Hand the token to `chosen` and, unless this thread is done for
+    /// good, wait until the token comes back.
+    fn transfer(&self, mut st: MutexGuard<'_, State>, me: usize, chosen: usize, wait_back: bool) {
+        st.active = chosen;
+        if chosen == me {
+            return;
+        }
+        self.cv.notify_all();
+        if !wait_back {
+            return;
+        }
+        while !(st.active == me && st.threads[me].run == Run::Runnable) {
+            if st.failure.is_some() {
+                drop(st);
+                panic!("loom-shim: halting thread {me} after model failure");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Park until the scheduler grants this thread the token for the
+    /// first time.
+    pub(crate) fn wait_for_token(&self, me: usize) {
+        let mut st = lock_state(&self.st);
+        while !(st.active == me && st.threads[me].run == Run::Runnable) {
+            if st.failure.is_some() {
+                drop(st);
+                panic!("loom-shim: halting thread {me} after model failure");
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// A plain (non-blocking) choice point: any enabled thread may run
+    /// next, including the caller.
+    pub(crate) fn point(&self, me: usize) {
+        let mut st = lock_state(&self.st);
+        if st.failure.is_some() {
+            drop(st);
+            panic!("loom-shim: halting thread {me} after model failure");
+        }
+        let Some(chosen) = self.decide(&mut st, me) else {
+            drop(st);
+            panic!("loom-shim: model failure (see driver diagnostic)");
+        };
+        self.transfer(st, me, chosen, true);
+    }
+
+    /// Acquire the mutex with `key`, blocking through the scheduler if
+    /// it is held. A choice point both before the attempt and at every
+    /// contended retry.
+    pub(crate) fn acquire(&self, me: usize, key: Key) {
+        self.point(me);
+        loop {
+            let mut st = lock_state(&self.st);
+            if st.failure.is_some() {
+                drop(st);
+                panic!("loom-shim: halting thread {me} after model failure");
+            }
+            let held = st.locks.entry(key).or_insert(false);
+            if !*held {
+                *held = true;
+                return;
+            }
+            st.threads[me].run = Run::Lock(key);
+            let Some(chosen) = self.decide(&mut st, me) else {
+                drop(st);
+                panic!("loom-shim: model failure (see driver diagnostic)");
+            };
+            self.transfer(st, me, chosen, true);
+        }
+    }
+
+    /// Try to acquire the mutex with `key` without blocking.
+    pub(crate) fn try_acquire(&self, me: usize, key: Key) -> bool {
+        self.point(me);
+        let mut st = lock_state(&self.st);
+        let held = st.locks.entry(key).or_insert(false);
+        if *held {
+            false
+        } else {
+            *held = true;
+            true
+        }
+    }
+
+    /// Release the mutex with `key` and make its waiters runnable.
+    /// Not a choice point: the next instrumented op provides one.
+    pub(crate) fn release(&self, me: usize, key: Key) {
+        let _ = me;
+        let mut st = lock_state(&self.st);
+        st.locks.insert(key, false);
+        for t in st.threads.iter_mut() {
+            if t.run == Run::Lock(key) {
+                t.run = Run::Runnable;
+            }
+        }
+    }
+
+    /// Atomically release `mutex_key` and block on condvar `cv_key`.
+    /// Returns true if the wake came from the quiescence (timeout)
+    /// rule rather than a notify. The caller re-acquires the mutex.
+    pub(crate) fn cv_wait(&self, me: usize, cv_key: Key, mutex_key: Key, timed: bool) -> bool {
+        let mut st = lock_state(&self.st);
+        if st.failure.is_some() {
+            drop(st);
+            panic!("loom-shim: halting thread {me} after model failure");
+        }
+        st.locks.insert(mutex_key, false);
+        for t in st.threads.iter_mut() {
+            if t.run == Run::Lock(mutex_key) {
+                t.run = Run::Runnable;
+            }
+        }
+        st.threads[me].run = Run::Cv { cv: cv_key, timed };
+        st.threads[me].timed_out = false;
+        let Some(chosen) = self.decide(&mut st, me) else {
+            drop(st);
+            panic!("loom-shim: model failure (see driver diagnostic)");
+        };
+        self.transfer(st, me, chosen, true);
+        let st = lock_state(&self.st);
+        st.threads[me].timed_out
+    }
+
+    /// Wake one or all waiters of condvar `cv_key`. The woken threads
+    /// re-acquire their mutex when scheduled. A choice point.
+    pub(crate) fn notify(&self, me: usize, cv_key: Key, all: bool) {
+        self.point(me);
+        let mut st = lock_state(&self.st);
+        for t in st.threads.iter_mut() {
+            if matches!(t.run, Run::Cv { cv, .. } if cv == cv_key) {
+                t.run = Run::Runnable;
+                if !all {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Block until thread `target` finishes. A choice point.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        self.point(me);
+        loop {
+            let mut st = lock_state(&self.st);
+            if st.failure.is_some() {
+                // Shutting down after a model failure: report "joined"
+                // so destructors (e.g. a pool drop) can complete.
+                return;
+            }
+            if st.threads[target].run == Run::Finished {
+                return;
+            }
+            st.threads[me].run = Run::Join(target);
+            let Some(chosen) = self.decide(&mut st, me) else {
+                drop(st);
+                panic!("loom-shim: model failure (see driver diagnostic)");
+            };
+            self.transfer(st, me, chosen, true);
+        }
+    }
+
+    /// Mark the calling thread finished, wake joiners, and pass the
+    /// token on (without waiting for it back).
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = lock_state(&self.st);
+        st.threads[me].run = Run::Finished;
+        for t in st.threads.iter_mut() {
+            if t.run == Run::Join(me) {
+                t.run = Run::Runnable;
+            }
+        }
+        if st.failure.is_some() || st.all_finished() {
+            self.cv.notify_all();
+            return;
+        }
+        let Some(chosen) = self.decide(&mut st, me) else {
+            return; // failure recorded; driver reports it
+        };
+        self.transfer(st, me, chosen, false);
+    }
+
+    /// Driver side: wait until every model thread finished or the
+    /// execution failed; returns the failure diagnostic if any.
+    fn wait_done(&self) -> Option<String> {
+        let mut st = lock_state(&self.st);
+        while !(st.all_finished() || st.failure.is_some()) {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        st.failure.clone()
+    }
+
+    fn take_trace(&self) -> Vec<Decision> {
+        std::mem::take(&mut lock_state(&self.st).trace)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// One execution of the model closure under a forced decision prefix.
+/// Returns the trace, or panics (propagating a closure panic or a
+/// model failure such as a deadlock).
+fn run_once(f: &Arc<dyn Fn() + Send + Sync>, forced: Vec<usize>) -> Vec<Decision> {
+    let sched = Arc::new(Scheduler::new(forced));
+    let root = sched.register_thread();
+    debug_assert_eq!(root, 0);
+    let s2 = Arc::clone(&sched);
+    let f2 = Arc::clone(f);
+    let handle = std::thread::Builder::new()
+        .name("loom-model-0".into())
+        .spawn(move || {
+            set_ctx(Arc::clone(&s2), 0);
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f2()));
+            s2.finish(0);
+            clear_ctx();
+            r
+        })
+        .unwrap_or_else(|e| panic!("loom-shim: could not spawn model thread: {e}"));
+    let failure = sched.wait_done();
+    if let Some(msg) = failure {
+        // Parked threads were woken by `fail` and unwind on their own;
+        // the diagnostic is what matters.
+        panic!("loom-shim: {msg}");
+    }
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(payload)) => std::panic::resume_unwind(payload),
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+    sched.take_trace()
+}
+
+/// Find the next decision prefix to force: the deepest decision with an
+/// unexplored alternative whose preemption cost fits the bound.
+fn next_forced(trace: &[Decision], max_preemptions: usize) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let cost_before: usize = trace[..i].iter().filter(|d| d.preempting()).count();
+        let d = &trace[i];
+        for pos in d.chosen_pos + 1..d.enabled.len() {
+            let extra = usize::from(d.me_enabled && d.enabled[pos] != d.me);
+            if cost_before + extra <= max_preemptions {
+                let mut forced: Vec<usize> = trace[..i].iter().map(|d| d.chosen_pos).collect();
+                forced.push(pos);
+                return Some(forced);
+            }
+        }
+    }
+    None
+}
+
+/// Explore the model closure under every schedule within the
+/// preemption bound (or until the execution cap). Panics on the first
+/// schedule that fails.
+pub(crate) fn explore(f: Arc<dyn Fn() + Send + Sync>) {
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", DEFAULT_MAX_PREEMPTIONS);
+    let max_execs = env_usize("LOOM_MAX_BRANCHES", DEFAULT_MAX_EXECUTIONS);
+    let mut forced: Vec<usize> = Vec::new();
+    let mut execs = 0usize;
+    loop {
+        execs += 1;
+        let trace = run_once(&f, std::mem::take(&mut forced));
+        match next_forced(&trace, max_preemptions) {
+            None => break,
+            Some(_) if execs >= max_execs => {
+                eprintln!(
+                    "loom-shim: exploration capped at {execs} executions \
+                     (raise LOOM_MAX_BRANCHES to go further)"
+                );
+                break;
+            }
+            Some(nf) => forced = nf,
+        }
+    }
+    if std::env::var_os("LOOM_LOG").is_some() {
+        eprintln!("loom-shim: explored {execs} executions (preemption bound {max_preemptions})");
+    }
+}

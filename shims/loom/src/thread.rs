@@ -1,0 +1,146 @@
+//! Model-aware replacement for [`std::thread`] (the subset used by
+//! the workspace: `Builder`, `spawn`, `JoinHandle`, `yield_now`).
+//!
+//! Inside [`crate::model`] spawned closures become *model threads*:
+//! real OS threads serialized by the scheduler token, visible to the
+//! interleaving search. Outside a model everything forwards to `std`.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, PoisonError};
+
+use crate::rt;
+
+/// Result of joining a thread, as in [`std::thread::Result`].
+pub type Result<T> = std::thread::Result<T>;
+
+enum Inner<T> {
+    Model {
+        tid: usize,
+        result: Arc<Mutex<Option<Result<T>>>>,
+        os: std::thread::JoinHandle<()>,
+    },
+    Std(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (model or plain) thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its closure's result.
+    ///
+    /// After a model failure this returns an `Err` payload instead of
+    /// blocking, so teardown code (e.g. a pool `Drop` that joins its
+    /// workers) can complete and let the driver report the diagnostic.
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Model { tid, result, os } => {
+                match rt::ctx() {
+                    Some((s, me)) => s.join_wait(me, tid),
+                    // Joined from outside the model (e.g. by the
+                    // driver after exploration): the OS thread is no
+                    // longer scheduler-gated, join it directly.
+                    None => {
+                        let _ = os.join();
+                    }
+                }
+                let taken = result
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .take();
+                match taken {
+                    Some(r) => r,
+                    None => Err(Box::new(
+                        "loom-shim: thread result unavailable (model failure shutdown)",
+                    )),
+                }
+            }
+            Inner::Std(h) => h.join(),
+        }
+    }
+}
+
+/// Thread factory mirroring [`std::thread::Builder`].
+#[derive(Default)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Create a builder with no name set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Name the thread-to-be (names show up in panic messages).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the closure, as a model thread when called inside
+    /// [`crate::model`], as a plain `std` thread otherwise.
+    pub fn spawn<F, T>(self, f: F) -> io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        match rt::ctx() {
+            Some((sched, me)) => {
+                let tid = sched.register_thread();
+                let result: Arc<Mutex<Option<Result<T>>>> = Arc::new(Mutex::new(None));
+                let r2 = Arc::clone(&result);
+                let s2 = Arc::clone(&sched);
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                let os = b.spawn(move || {
+                    rt::set_ctx(Arc::clone(&s2), tid);
+                    // The catch also swallows the "halting after model
+                    // failure" unwind, letting the thread park its
+                    // result and exit cleanly while the driver reports.
+                    let r = catch_unwind(AssertUnwindSafe(|| {
+                        s2.wait_for_token(tid);
+                        f()
+                    }));
+                    *r2.lock().unwrap_or_else(PoisonError::into_inner) = Some(r);
+                    s2.finish(tid);
+                    rt::clear_ctx();
+                })?;
+                // The child is registered runnable; give the scheduler
+                // a chance to switch to it right away.
+                sched.point(me);
+                Ok(JoinHandle(Inner::Model { tid, result, os }))
+            }
+            None => {
+                let mut b = std::thread::Builder::new();
+                if let Some(n) = self.name {
+                    b = b.name(n);
+                }
+                b.spawn(f).map(|h| JoinHandle(Inner::Std(h)))
+            }
+        }
+    }
+}
+
+/// As [`std::thread::spawn`], model-aware.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match Builder::new().spawn(f) {
+        Ok(h) => h,
+        Err(e) => panic!("failed to spawn thread: {e}"),
+    }
+}
+
+/// A pure scheduling point inside a model; forwards to
+/// [`std::thread::yield_now`] outside one.
+pub fn yield_now() {
+    match rt::ctx() {
+        Some((sched, me)) => sched.point(me),
+        None => std::thread::yield_now(),
+    }
+}

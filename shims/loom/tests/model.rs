@@ -1,0 +1,212 @@
+//! Self-tests for the loom shim: the checker must *find* planted
+//! concurrency bugs (or it proves nothing) and must pass correct code.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use loom::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use loom::sync::{Arc, Condvar, Mutex};
+use loom::thread;
+
+/// Run a model and return the panic message of its first failing
+/// schedule, if any.
+fn model_failure<F: Fn() + Send + Sync + 'static>(f: F) -> Option<String> {
+    let prev = std::panic::take_hook();
+    // Silence the expected panic backtraces from failing schedules.
+    std::panic::set_hook(Box::new(|_| {}));
+    let r = catch_unwind(AssertUnwindSafe(|| loom::model(f)));
+    std::panic::set_hook(prev);
+    r.err().map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .unwrap_or_else(|| "<non-string panic payload>".to_string())
+    })
+}
+
+/// The classic lost update: two threads increment with separate
+/// load/store. The checker must find the interleaving where both read
+/// the same value.
+#[test]
+fn finds_lost_update() {
+    let msg = model_failure(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    let v = n.load(Ordering::SeqCst);
+                    n.store(v + 1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    });
+    let msg = msg.expect("checker failed to find the lost update");
+    assert!(msg.contains("lost update"), "unexpected failure: {msg}");
+}
+
+/// The same increment done with a read-modify-write must pass under
+/// every interleaving.
+#[test]
+fn passes_atomic_rmw() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// ABBA lock ordering: the checker must report the deadlock instead of
+/// hanging.
+#[test]
+fn detects_abba_deadlock() {
+    let msg = model_failure(|| {
+        let a = Arc::new(Mutex::new(0u32));
+        let b = Arc::new(Mutex::new(0u32));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = thread::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        {
+            let _gb = b.lock().unwrap();
+            let _ga = a.lock().unwrap();
+        }
+        let _ = t.join();
+    });
+    let msg = msg.expect("checker failed to find the ABBA deadlock");
+    assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+}
+
+/// Mutex-protected increments are sound under every interleaving.
+#[test]
+fn passes_mutex_counter() {
+    loom::model(|| {
+        let n = Arc::new(Mutex::new(0usize));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    *n.lock().unwrap() += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*n.lock().unwrap(), 2);
+    });
+}
+
+/// Condvar handoff: a waiter must observe the flag no matter how the
+/// notify interleaves with entering the wait.
+#[test]
+fn passes_condvar_handoff() {
+    loom::model(|| {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock().unwrap() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut ready = m.lock().unwrap();
+        while !*ready {
+            ready = cv.wait(ready).unwrap();
+        }
+        drop(ready);
+        t.join().unwrap();
+    });
+}
+
+/// A timed wait with no notifier in sight must "time out" under the
+/// quiescence rule rather than deadlocking the model.
+#[test]
+fn timed_wait_times_out_at_quiescence() {
+    loom::model(|| {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (_g, res) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(res.timed_out());
+    });
+}
+
+/// A panic on a spawned thread surfaces through join, and the model
+/// then fails via the root's unwrap.
+#[test]
+fn spawned_panic_surfaces_through_join() {
+    let msg = model_failure(|| {
+        let t = thread::spawn(|| panic!("boom in worker"));
+        t.join().unwrap();
+    });
+    assert!(msg.is_some(), "worker panic did not fail the model");
+}
+
+/// Three-way racing stores: final value must be one of the stored
+/// values; also exercises exploration breadth (3 threads).
+#[test]
+fn passes_three_way_store_race() {
+    loom::model(|| {
+        let n = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (1..=3)
+            .map(|v| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || n.store(v, Ordering::SeqCst))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = n.load(Ordering::SeqCst);
+        assert!((1..=3).contains(&got));
+    });
+}
+
+/// Flag + data publication through SeqCst atomics: if the reader sees
+/// the flag, it must see the data (single-total-order model).
+#[test]
+fn passes_publication() {
+    loom::model(|| {
+        let data = Arc::new(AtomicUsize::new(0));
+        let flag = Arc::new(AtomicBool::new(false));
+        let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+        let t = thread::spawn(move || {
+            d2.store(42, Ordering::SeqCst);
+            f2.store(true, Ordering::SeqCst);
+        });
+        if flag.load(Ordering::SeqCst) {
+            assert_eq!(data.load(Ordering::SeqCst), 42);
+        }
+        t.join().unwrap();
+    });
+}
+
+/// Outside `model()`, the shim types fall back to plain std behavior.
+#[test]
+fn std_fallback_outside_model() {
+    let m = Mutex::new(1);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 2);
+    let n = AtomicUsize::new(5);
+    assert_eq!(n.fetch_add(2, Ordering::SeqCst), 5);
+    let t = thread::spawn(|| 7);
+    assert_eq!(t.join().unwrap(), 7);
+}

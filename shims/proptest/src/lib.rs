@@ -12,6 +12,8 @@
 //! - no persistence files, forking, or timeout handling;
 //! - `ProptestConfig` carries only the case count.
 
+#![forbid(unsafe_code)]
+
 pub mod test_runner {
     //! Per-test configuration and the deterministic RNG.
 
