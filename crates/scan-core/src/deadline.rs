@@ -254,6 +254,36 @@ mod tests {
     }
 
     #[test]
+    fn nested_scope_restores_outer_after_inner_panic() {
+        // Regression: an inner scoped closure panicking must restore
+        // the *outer* token, not clear the slot — otherwise every
+        // ambient checkpoint after the unwind silently loses the
+        // outer deadline.
+        let outer = ScanDeadline::manual();
+        let inner = ScanDeadline::manual();
+        with_deadline(&outer, || {
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                with_deadline(&inner, || {
+                    inner.cancel();
+                    assert!(current().expect("inner installed").is_cancelled());
+                    panic!("inner boom");
+                })
+            }));
+            assert!(r.is_err());
+            // Ambient token is the outer scope's again: present, not
+            // the cancelled inner one, and live for checkpoints.
+            let cur = current().expect("outer scope lost after inner panic");
+            assert!(!cur.is_cancelled());
+            assert!(checkpoint().is_ok());
+            // And it is genuinely the outer *token*, sharing state
+            // with the caller's handle.
+            outer.cancel();
+            assert!(current().expect("outer still installed").is_cancelled());
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
     fn checkpoint_without_scope_is_ok() {
         assert!(checkpoint().is_ok());
     }

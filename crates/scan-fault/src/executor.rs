@@ -18,7 +18,9 @@
 //!   measured on the executor's logical scan clock. When the
 //!   quarantine elapses the next scan is a single **probation probe**
 //!   — success re-admits the backend, failure re-opens it with
-//!   exponentially doubled (capped) backoff.
+//!   exponentially doubled (capped) backoff. Each quarantine end is
+//!   spread by deterministic seeded jitter so breakers opened by one
+//!   incident do not re-probe in lockstep.
 //! - **Panic containment**: every backend invocation runs under
 //!   `catch_unwind`; a panicking backend counts as a failed attempt
 //!   (and trips the breaker) instead of unwinding through the caller.
@@ -34,6 +36,7 @@ use scan_core::simulate::PrimitiveScans;
 use scan_core::{Max, Sum};
 
 use crate::error::FaultError;
+use crate::plan::SplitMix64;
 use crate::verify::verify_scan;
 
 /// Tuning knobs for the per-backend circuit breaker.
@@ -48,6 +51,14 @@ pub struct BreakerConfig {
     /// Backoff ceiling: each failed probation probe doubles the
     /// quarantine up to this many scans.
     pub max_quarantine: u64,
+    /// Up to this many extra scans of seeded jitter are added to each
+    /// quarantine, so a fleet of breakers opened by one incident does
+    /// not re-probe in lockstep. `0` disables jitter (exact backoff).
+    pub jitter: u64,
+    /// Seed for the jitter draw. The draw is a pure function of
+    /// `(seed, backend index, quarantine count)` — replaying the same
+    /// failure sequence reproduces the same quarantine schedule.
+    pub jitter_seed: u64,
 }
 
 impl Default for BreakerConfig {
@@ -56,6 +67,8 @@ impl Default for BreakerConfig {
             failure_threshold: 3,
             base_quarantine: 8,
             max_quarantine: 1024,
+            jitter: 3,
+            jitter_seed: 0x5eed_b10c_ba5e_0ff5,
         }
     }
 }
@@ -251,7 +264,11 @@ impl CheckedExecutor {
     }
 
     /// Open the breaker on backend `b_idx` at logical time `clock`,
-    /// doubling (capped) the backoff if it was already open.
+    /// doubling (capped) the backoff if it was already open. The
+    /// quarantine end gets a deterministic seeded jitter on top of the
+    /// backoff so co-failing breakers spread their re-probes; the
+    /// stored `backoff` stays exact, keeping the doubling schedule
+    /// independent of the jitter draws.
     fn open_breaker(&self, b_idx: usize, clock: u64) {
         let mut health = self.health.borrow_mut();
         let h = &mut health[b_idx];
@@ -261,8 +278,15 @@ impl CheckedExecutor {
                 (backoff.saturating_mul(2)).min(self.breaker.max_quarantine.max(1))
             }
         };
+        let jitter = SplitMix64(
+            self.breaker
+                .jitter_seed
+                .wrapping_add((b_idx as u64).wrapping_mul(0x9E3779B97F4A7C15))
+                .wrapping_add(h.quarantines << 1),
+        )
+        .below(self.breaker.jitter.saturating_add(1));
         h.state = BreakerState::Open {
-            until: clock.saturating_add(backoff),
+            until: clock.saturating_add(backoff).saturating_add(jitter),
             backoff,
         };
         h.quarantines += 1;
@@ -485,6 +509,8 @@ mod tests {
                 failure_threshold: 3,
                 base_quarantine: 8,
                 max_quarantine: 64,
+                jitter: 0, // exact-value assertions below
+                jitter_seed: 0,
             });
         let a: Vec<u64> = (0..16).collect();
         let good = scan_core::scan::<Sum, _>(&a);
@@ -512,6 +538,74 @@ mod tests {
         assert_eq!(h.probes, 1);
         assert_eq!(h.quarantines, 2);
         assert_eq!(h.state, BreakerState::Open { until: 26, backoff: 16 });
+    }
+
+    #[test]
+    fn quarantine_jitter_is_deterministic_and_bounded() {
+        let cfg = BreakerConfig {
+            failure_threshold: 1,
+            base_quarantine: 8,
+            max_quarantine: 64,
+            jitter: 5,
+            jitter_seed: 0xfeed_beef,
+        };
+        let open_state = |cfg: BreakerConfig| {
+            let ex = CheckedExecutor::new(Box::new(AlwaysWrong))
+                .with_fallback(Box::new(SoftwareScans))
+                .with_retries(0)
+                .with_breaker(cfg);
+            let a: Vec<u64> = (0..8).collect();
+            // Clock 0: the only failure needed to open the breaker.
+            ex.checked_plus_scan(&a).unwrap();
+            ex.backend_health(0).state
+        };
+        // Deterministic: the same seed and failure history reproduce
+        // the same quarantine schedule.
+        assert_eq!(open_state(cfg), open_state(cfg));
+        // Bounded: the stored backoff stays exact; only the end point
+        // moves, by at most `jitter` scans.
+        let BreakerState::Open { until, backoff } = open_state(cfg) else {
+            panic!("breaker must be open after a failure at threshold 1");
+        };
+        assert_eq!(backoff, 8, "jitter must not distort the doubling base");
+        assert!(
+            (8..=8 + cfg.jitter).contains(&until),
+            "until {until} outside the jitter envelope"
+        );
+    }
+
+    #[test]
+    fn jitter_schedule_replays_identically_across_executors() {
+        let mk = || {
+            CheckedExecutor::new(Box::new(AlwaysWrong))
+                .with_fallback(Box::new(SoftwareScans))
+                .with_retries(0)
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 1,
+                    base_quarantine: 2,
+                    max_quarantine: 16,
+                    jitter: 7,
+                    jitter_seed: 42,
+                })
+        };
+        let a: Vec<u64> = (0..8).collect();
+        let run = |ex: &CheckedExecutor| {
+            let mut schedule = Vec::new();
+            for _ in 0..40 {
+                ex.checked_plus_scan(&a).unwrap();
+                schedule.push(ex.backend_health(0).state);
+            }
+            schedule
+        };
+        let (ex1, ex2) = (mk(), mk());
+        assert_eq!(
+            run(&ex1),
+            run(&ex2),
+            "same seed + same failures must replay the same schedule"
+        );
+        // The walk covered several re-openings, so the equality above
+        // pinned multiple independent jitter draws.
+        assert!(ex1.backend_health(0).quarantines >= 3);
     }
 
     /// Wrong for the first `bad_calls` invocations, correct afterwards.
@@ -546,6 +640,8 @@ mod tests {
             failure_threshold: 1,
             base_quarantine: 2,
             max_quarantine: 8,
+            jitter: 0, // exact-value assertions below
+            jitter_seed: 0,
         });
         let a: Vec<u64> = (0..12).collect();
         let good = scan_core::scan::<Sum, _>(&a);

@@ -823,6 +823,23 @@ fn after() {}
     }
 
     #[test]
+    fn serving_crate_is_covered_by_spawn_and_clock_confinement() {
+        // The serving layer's leader–follower design depends on these
+        // rules having no carve-out for it: a dispatcher thread or a
+        // raw clock in `scan-service` library code must be caught
+        // exactly like anywhere else — its timing flows through
+        // `ScanDeadline` tokens and its workforce is the submitters.
+        let t = Tree::new();
+        t.write(
+            "crates/scan-service/src/service.rs",
+            "pub fn lead() { std::thread::spawn(|| {}); let _ = std::time::Instant::now(); }\n",
+        );
+        let mut vs = rules(&t.lint());
+        vs.sort_unstable();
+        assert_eq!(vs, vec!["no-raw-clock", "no-raw-spawn"]);
+    }
+
+    #[test]
     fn raw_clock_in_deadline_is_allowed() {
         let t = Tree::new();
         t.write(

@@ -14,6 +14,11 @@
 //!   the scan model) with measured step complexity;
 //! - [`circuit`] (`scan-circuit`) — the cycle-accurate bit-pipelined
 //!   tree scan circuit and the Table 2/4 cost models;
+//! - [`service`] (`scan-service`) — the multi-tenant serving layer: a
+//!   coalescing front door that batches many small concurrent scan
+//!   requests into one segmented-scan mega-batch, with admission
+//!   control, per-tenant fairness, deadline propagation, and
+//!   overload-graceful degradation;
 //! - [`algorithms`] (`scan-algorithms`) — split radix sort, quicksort,
 //!   halving merge, MST, connected components, MIS, line drawing,
 //!   line of sight, convex hull, k-d trees, closest pair, list
@@ -41,3 +46,4 @@ pub use scan_algorithms as algorithms;
 pub use scan_circuit as circuit;
 pub use scan_core as core;
 pub use scan_pram as pram;
+pub use scan_service as service;
