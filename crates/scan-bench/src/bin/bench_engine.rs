@@ -16,7 +16,21 @@
 //! against this run's legacy sort (so its speedup column is the
 //! fused-vs-legacy ratio on this machine), and a digit-width sweep
 //! (w ∈ {1, 4, 8}) of the unfused enumerate-per-bucket schedule vs the
-//! fused kernel. A `memcpy` row per size gives the bandwidth roofline.
+//! fused kernel. Two roofline rows per size bound the scans from
+//! below: `memcpy` (reused destination — the raw bandwidth floor) and
+//! `memcpy(fresh)` (`a.to_vec()` — the floor for a kernel that must
+//! allocate and return a fresh `Vec`, which at large n is dominated
+//! by first-touch page faults, not the copy). A `+-scan(lookback)`
+//! row times the single-pass decoupled-
+//! lookback schedule against the two-pass blocked engine — with
+//! bit-for-bit equality between the two schedules asserted (on `+`,
+//! `max` and the segmented operator) before any timing counts, in
+//! `--smoke` mode too.
+//!
+//! The JSON records the actual pool width, the SIMD ISA the dispatcher
+//! selected, and a derived GB/s column for the bandwidth-bound rows
+//! (16 bytes of traffic per element: one streamed read, one streamed
+//! write) so the roofline gap is readable straight off the file.
 //!
 //! Usage:
 //!   cargo run --release -p scan-bench --bin bench_engine
@@ -49,6 +63,17 @@ struct Row {
 impl Row {
     fn speedup(&self) -> f64 {
         self.old_ns as f64 / self.new_ns.max(1) as f64
+    }
+
+    /// Derived bandwidth of the `new` engine for the rows that stream
+    /// one read + one write per 8-byte element; `None` for kernels
+    /// whose traffic is not that simple shape.
+    fn gbps(&self) -> Option<f64> {
+        matches!(
+            self.kernel,
+            "memcpy" | "memcpy(fresh)" | "+-scan" | "max-scan" | "+-scan(lookback)"
+        )
+        .then(|| 16.0 * self.n as f64 / self.new_ns.max(1) as f64)
     }
 }
 
@@ -150,7 +175,10 @@ fn run_chaos(smoke: bool) {
     };
     println!("\nchaos smoke: seeded delay/panic injection over the try_* kernels");
     println!("(injected worker panics print their unwind messages below — that is the scenario, not a failure)");
-    println!("{:>10} {:>16} {:>14} {:>20}", "n", "scenario", "ns", "outcome");
+    println!(
+        "{:>10} {:>16} {:>14} {:>20}",
+        "n", "scenario", "ns", "outcome"
+    );
     for n in sizes {
         let a = random_keys(n, 32, 0xC4A05);
         let expect = scan::<Sum, _>(&a);
@@ -236,9 +264,15 @@ fn run_chaos(smoke: bool) {
         }
         // The pool survived every scenario: a clean pooled scan still
         // agrees with the reference.
-        assert_eq!(scan::<Sum, _>(&a), expect, "pool unusable after chaos at n={n}");
+        assert_eq!(
+            scan::<Sum, _>(&a),
+            expect,
+            "pool unusable after chaos at n={n}"
+        );
     }
-    println!("chaos smoke passed: every scenario terminated with a verified result or a typed error");
+    println!(
+        "chaos smoke passed: every scenario terminated with a verified result or a typed error"
+    );
 }
 
 fn main() {
@@ -249,12 +283,11 @@ fn main() {
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
-        .unwrap_or_else(|| {
-            format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR"))
-        });
+        .unwrap_or_else(|| format!("{}/../../BENCH_engine.json", env!("CARGO_MANIFEST_DIR")));
 
     let threads = scan_core::pool::global().threads();
-    println!("engine bench: pool width {threads}, smoke={smoke}");
+    let simd = scan_core::simd::active_isa().name();
+    println!("engine bench: pool width {threads}, simd {simd}, smoke={smoke}");
 
     let mut rows: Vec<Row> = Vec::new();
     let (w, k_override) = if smoke { (0, Some(1)) } else { (2, None) };
@@ -275,14 +308,24 @@ fn main() {
             scan::<Sum, _>(&a),
             "+-scan engines disagree at n={n}"
         );
-        rows.push(Row { kernel: "+-scan", n, old_ns: old, new_ns: new });
+        rows.push(Row {
+            kernel: "+-scan",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
 
         // max-scan.
         let old = time_median(w, k, || {
             parallel::exclusive_scan_by_sched(Schedule::Spawn, &a, 0u64, u64::max)
         });
         let new = time_median(w, k, || scan::<Max, _>(&a));
-        rows.push(Row { kernel: "max-scan", n, old_ns: old, new_ns: new });
+        rows.push(Row {
+            kernel: "max-scan",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
 
         // Segmented +-scan: unfused pair materialization + shift pass
         // vs the fused load/emit kernel.
@@ -293,7 +336,12 @@ fn main() {
             seg_scan::<Sum, _>(&a, &segs),
             "seg-scan engines disagree at n={n}"
         );
-        rows.push(Row { kernel: "seg-+-scan", n, old_ns: old, new_ns: new });
+        rows.push(Row {
+            kernel: "seg-+-scan",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
 
         // enumerate: 0/1 vector + scan vs fused map→scan.
         let old = time_median(w, k, || {
@@ -303,20 +351,63 @@ fn main() {
         let new = time_median(w, k, || enumerate(&flags));
         assert_eq!(
             {
-                let ones: Vec<usize> =
-                    parallel::map_by_sched(Schedule::Spawn, &flags, usize::from);
+                let ones: Vec<usize> = parallel::map_by_sched(Schedule::Spawn, &flags, usize::from);
                 parallel::exclusive_scan_by_sched(Schedule::Spawn, &ones, 0, |x, y| x + y)
             },
             enumerate(&flags),
             "enumerate engines disagree at n={n}"
         );
-        rows.push(Row { kernel: "enumerate", n, old_ns: old, new_ns: new });
+        rows.push(Row {
+            kernel: "enumerate",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
 
         // pack: unfused scan+reduce vs fused scan-with-total.
         let old = time_median(w, k, || old_pack(&a, &flags));
         let new = time_median(w, k, || pack(&a, &flags));
-        assert_eq!(old_pack(&a, &flags), pack(&a, &flags), "pack engines disagree at n={n}");
-        rows.push(Row { kernel: "pack", n, old_ns: old, new_ns: new });
+        assert_eq!(
+            old_pack(&a, &flags),
+            pack(&a, &flags),
+            "pack engines disagree at n={n}"
+        );
+        rows.push(Row {
+            kernel: "pack",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
+
+        // Single-pass decoupled lookback vs the two-pass blocked
+        // engine: the same typed kernel with the process default
+        // schedule swapped. The schedules must agree bit-for-bit on
+        // `+`, `max` and the segmented operator — asserted on every
+        // size, in --smoke mode too, before any timing counts.
+        let blocked = scan::<Sum, _>(&a);
+        assert_eq!(
+            under(Schedule::Lookback, || scan::<Sum, _>(&a)),
+            blocked,
+            "lookback +-scan disagrees with blocked at n={n}"
+        );
+        assert_eq!(
+            under(Schedule::Lookback, || scan::<Max, _>(&a)),
+            scan::<Max, _>(&a),
+            "lookback max-scan disagrees with blocked at n={n}"
+        );
+        assert_eq!(
+            under(Schedule::Lookback, || seg_scan::<Sum, _>(&a, &segs)),
+            seg_scan::<Sum, _>(&a, &segs),
+            "lookback seg-scan disagrees with blocked at n={n}"
+        );
+        let old = time_median(w, k, || scan::<Sum, _>(&a));
+        let new = time_median(w, k, || under(Schedule::Lookback, || scan::<Sum, _>(&a)));
+        rows.push(Row {
+            kernel: "+-scan(lookback)",
+            n,
+            old_ns: old,
+            new_ns: new,
+        });
 
         // Plain memcpy roofline: the memory-bandwidth floor any
         // one-pass kernel is chasing (old == new by construction).
@@ -325,7 +416,25 @@ fn main() {
             dstv.copy_from_slice(&a);
             std::hint::black_box(dstv[n - 1])
         });
-        rows.push(Row { kernel: "memcpy", n, old_ns: t, new_ns: t });
+        rows.push(Row {
+            kernel: "memcpy",
+            n,
+            old_ns: t,
+            new_ns: t,
+        });
+
+        // The same floor with the kernels' allocation behavior: every
+        // scan call returns a freshly allocated Vec, so the floor it
+        // can actually reach is "allocate and produce a copy" — which
+        // at large n is dominated by the page faults of first touch,
+        // not the copy loop. This is the apples-to-apples roofline.
+        let t = time_median(w, k, || a.to_vec());
+        rows.push(Row {
+            kernel: "memcpy(fresh)",
+            n,
+            old_ns: t,
+            new_ns: t,
+        });
     }
 
     // A whole algorithm built from the primitives: split radix sort on
@@ -335,10 +444,21 @@ fn main() {
         let keys = random_keys(n, 16, 0x5027);
         let mut expect = keys.clone();
         expect.sort_unstable();
-        let old = time_median(w, k, || under(Schedule::Spawn, || split_radix_sort(&keys, 16)));
+        let old = time_median(w, k, || {
+            under(Schedule::Spawn, || split_radix_sort(&keys, 16))
+        });
         let legacy_ns = time_median(w, k, || split_radix_sort(&keys, 16));
-        assert_eq!(split_radix_sort(&keys, 16), expect, "radix sort wrong at n={n}");
-        rows.push(Row { kernel: "split_radix_sort", n, old_ns: old, new_ns: legacy_ns });
+        assert_eq!(
+            split_radix_sort(&keys, 16),
+            expect,
+            "radix sort wrong at n={n}"
+        );
+        rows.push(Row {
+            kernel: "split_radix_sort",
+            n,
+            old_ns: old,
+            new_ns: legacy_ns,
+        });
 
         // The fused multi_split sort (8-bit digits): old = this run's
         // legacy engine sort, new = fused — so the row's speedup IS the
@@ -352,7 +472,12 @@ fn main() {
         );
         assert_eq!(fused, expect, "fused sort wrong at n={n}");
         let fused_ns = time_median(w, k, || fused_radix_sort(&keys, 16));
-        rows.push(Row { kernel: "fused_radix_sort", n, old_ns: legacy_ns, new_ns: fused_ns });
+        rows.push(Row {
+            kernel: "fused_radix_sort",
+            n,
+            old_ns: legacy_ns,
+            new_ns: fused_ns,
+        });
 
         // Digit-width sweep: the unfused enumerate-per-bucket schedule
         // vs the fused kernel at the same width.
@@ -368,23 +493,56 @@ fn main() {
             );
             let old = time_median(w, k, || split_radix_sort_digits(&keys, 16, dw));
             let new = time_median(w, k, || fused_radix_sort_digits(&keys, 16, dw));
-            rows.push(Row { kernel: name, n, old_ns: old, new_ns: new });
+            rows.push(Row {
+                kernel: name,
+                n,
+                old_ns: old,
+                new_ns: new,
+            });
         }
     }
 
     println!(
-        "{:>18} {:>10} {:>14} {:>14} {:>9}",
-        "kernel", "n", "old ns", "new ns", "speedup"
+        "{:>18} {:>10} {:>14} {:>14} {:>9} {:>8}",
+        "kernel", "n", "old ns", "new ns", "speedup", "GB/s"
     );
     for r in &rows {
+        let gbps = r
+            .gbps()
+            .map_or_else(|| "-".to_string(), |g| format!("{g:.2}"));
         println!(
-            "{:>18} {:>10} {:>14} {:>14} {:>8.2}x",
+            "{:>18} {:>10} {:>14} {:>14} {:>8.2}x {:>8}",
             r.kernel,
             r.n,
             r.old_ns,
             r.new_ns,
-            r.speedup()
+            r.speedup(),
+            gbps
         );
+    }
+
+    // Roofline gap at the largest size: how far the one-pass scans sit
+    // from the streamed-copy floor — against both the reused-buffer
+    // bandwidth roofline and the allocate-a-fresh-Vec roofline that
+    // matches the kernels' own calling convention.
+    for base in ["memcpy", "memcpy(fresh)"] {
+        if let Some(mem) = rows.iter().rev().find(|r| r.kernel == base) {
+            for kernel in ["+-scan", "+-scan(lookback)"] {
+                if let Some(r) = rows
+                    .iter()
+                    .rev()
+                    .find(|r| r.kernel == kernel && r.n == mem.n)
+                {
+                    println!(
+                        "roofline: {} at n=2^{} runs at {:.2}x {}",
+                        kernel,
+                        mem.n.ilog2(),
+                        r.new_ns as f64 / mem.new_ns.max(1) as f64,
+                        base
+                    );
+                }
+            }
+        }
     }
 
     if chaos {
@@ -398,15 +556,20 @@ fn main() {
 
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"simd\": \"{simd}\",\n"));
     json.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
+        let gbps = r
+            .gbps()
+            .map_or_else(|| "null".to_string(), |g| format!("{g:.3}"));
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"n\": {}, \"old_ns\": {}, \"new_ns\": {}, \"speedup\": {:.3}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"n\": {}, \"old_ns\": {}, \"new_ns\": {}, \"speedup\": {:.3}, \"gbps\": {}}}{}\n",
             r.kernel,
             r.n,
             r.old_ns,
             r.new_ns,
             r.speedup(),
+            gbps,
             if i + 1 == rows.len() { "" } else { "," }
         ));
     }

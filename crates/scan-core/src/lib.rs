@@ -15,8 +15,12 @@
 //! - segmented versions of all scans, which restart at segment boundaries
 //!   ([`segmented`], paper §2.3);
 //! - parallel execution kernels (blocked two-pass over a persistent
-//!   worker pool, [`parallel`] + [`pool`]), falling back to sequential
-//!   code below a threshold; set `SCAN_CORE_THREADS` to pin the width;
+//!   worker pool, [`parallel`] + [`pool`], plus a single-pass
+//!   decoupled-lookback schedule, [`lookback`]), with runtime-dispatched
+//!   SIMD tile kernels for the exact integer operators ([`simd`]),
+//!   falling back to sequential code below a threshold; set
+//!   `SCAN_CORE_THREADS` to pin the width and `SCAN_CORE_SIMD=0` to
+//!   pin the scalar kernels;
 //! - the derived "simple operations" of §2.2 — `enumerate`, `copy`,
 //!   `+-distribute`, `permute`, `split`, `pack` ([`ops`]) — and their
 //!   segmented counterparts ([`segops`], §2.3);
@@ -49,6 +53,7 @@ pub mod allocate;
 pub mod deadline;
 pub mod element;
 pub mod error;
+pub mod lookback;
 pub mod multi_split;
 pub mod op;
 pub mod ops;
@@ -57,6 +62,7 @@ pub mod pool;
 pub mod scan;
 pub mod segmented;
 pub mod segops;
+pub mod simd;
 pub mod simulate;
 pub mod sync;
 pub mod vector;
@@ -79,13 +85,13 @@ pub use segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, try_seg_sca
 /// Convenience prelude: `use scan_core::prelude::*;`
 pub mod prelude {
     pub use crate::allocate::{allocate, distribute, try_distribute};
+    pub use crate::deadline::{with_deadline, ScanDeadline};
     pub use crate::op::{And, Max, Min, Or, Prod, ScanOp, Sum};
     pub use crate::ops::{
         copy_first, count, distribute_op, enumerate, flag_merge, gather, pack, permute, split,
         split3, split_count, try_copy_first, try_flag_merge, try_gather, try_pack, try_permute,
         try_select, try_split, try_split3, try_split_count,
     };
-    pub use crate::deadline::{with_deadline, ScanDeadline};
     pub use crate::scan::{
         inclusive_scan, inclusive_scan_backward, reduce, scan, scan_backward, scan_with_total,
         try_inclusive_scan, try_inclusive_scan_backward, try_reduce, try_scan, try_scan_backward,

@@ -33,7 +33,7 @@ use crate::element::ScanElem;
 use crate::error::{Error, Result};
 use crate::parallel::{
     block_range, check, default_schedule, engine_width, go_parallel, plan_blocks, run_blocks,
-    try_run_blocks, Schedule, SendPtr, CANCEL_STRIDE,
+    scan_span, try_run_blocks, Mode, Schedule, SendPtr, CANCEL_STRIDE,
 };
 use crate::sync::atomic::{AtomicUsize, Ordering};
 
@@ -167,12 +167,28 @@ where
     // Memory order is bucket-major then block-major, so the scanned
     // slot (k, b) is the stable output offset for that (bucket, block)
     // pair, and column heads are the bucket bases.
-    let mut acc = 0usize;
-    for slot in scratch.counts.iter_mut() {
-        let c = *slot;
-        *slot = acc;
-        acc += c;
-    }
+    // In-place through `scan_span` so the count matrix rides the same
+    // `usize` sum tile as the scans: each tile's loads complete before
+    // its writes, and tiles never revisit an index, so reading through
+    // the write pointer is sound.
+    let acc = {
+        let m = scratch.counts.len();
+        let ptr = SendPtr::new(scratch.counts.as_mut_ptr());
+        // SAFETY: single-threaded pass; `scan_span` loads every index
+        // before writing it (per tile), and indices are visited once.
+        let load = |i: usize| unsafe { *ptr.get().add(i) };
+        // SAFETY: as above — `i` was already loaded when this runs.
+        let mut write = |i: usize, s: usize| unsafe { ptr.get().add(i).write(s) };
+        scan_span(
+            0..m,
+            &load,
+            0usize,
+            &|a: usize, b: usize| a.wrapping_add(b),
+            Mode::ExclusiveFwd,
+            <crate::op::Sum as crate::op::ScanOp<usize>>::simd_tile(),
+            &mut write,
+        )
+    };
     debug_assert_eq!(acc, n, "histogram must cover the input exactly");
     let mut counts = vec![0usize; nbuckets];
     for (k, c) in counts.iter_mut().enumerate() {
@@ -341,7 +357,11 @@ mod tests {
     use crate::ExecError;
 
     fn keys(seed: u64, n: usize, bits: u32) -> Vec<u64> {
-        let mask = if bits >= 64 { u64::MAX } else { (1 << bits) - 1 };
+        let mask = if bits >= 64 {
+            u64::MAX
+        } else {
+            (1 << bits) - 1
+        };
         let mut x = seed;
         (0..n)
             .map(|_| {
@@ -353,7 +373,11 @@ mod tests {
             .collect()
     }
 
-    fn reference<T: ScanElem>(a: &[T], nbuckets: usize, key: impl Fn(T) -> usize) -> (Vec<T>, Vec<usize>) {
+    fn reference<T: ScanElem>(
+        a: &[T],
+        nbuckets: usize,
+        key: impl Fn(T) -> usize,
+    ) -> (Vec<T>, Vec<usize>) {
         let mut out = Vec::with_capacity(a.len());
         let mut counts = vec![0usize; nbuckets];
         for (k, c) in counts.iter_mut().enumerate() {
@@ -380,7 +404,14 @@ mod tests {
     #[test]
     fn matches_reference_across_sizes_and_schedules() {
         for sched in [Schedule::Sequential, Schedule::Pooled, Schedule::Spawn] {
-            for n in [0usize, 1, 5, 1000, crate::parallel::PAR_THRESHOLD - 1, crate::parallel::PAR_THRESHOLD + 3] {
+            for n in [
+                0usize,
+                1,
+                5,
+                1000,
+                crate::parallel::PAR_THRESHOLD - 1,
+                crate::parallel::PAR_THRESHOLD + 3,
+            ] {
                 let a = keys(0x9E3779B97F4A7C15 ^ n as u64, n, 8);
                 let key = |k: u64| (k & 15) as usize;
                 let mut dst = vec![0u64; n];
@@ -431,10 +462,7 @@ mod tests {
             .map(|(i, &k)| (k, i as u64))
             .collect();
         let (got, _) = multi_split_by(&a, 4, |(k, _)| k as usize);
-        assert_eq!(
-            got,
-            vec![(0, 5), (1, 1), (1, 3), (3, 0), (3, 2), (3, 4)]
-        );
+        assert_eq!(got, vec![(0, 5), (1, 1), (1, 3), (3, 0), (3, 2), (3, 4)]);
     }
 
     #[test]

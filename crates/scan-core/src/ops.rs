@@ -23,19 +23,55 @@ use crate::scan::reduce;
 /// assert_eq!(enumerate(&f), vec![0, 1, 1, 1, 2, 2, 3, 4]);
 /// ```
 pub fn enumerate(flags: &[bool]) -> Vec<usize> {
-    parallel::scan_map_by(flags, usize::from, 0, |a, b| a + b)
+    index_sum_scan(
+        flags.len(),
+        |i| usize::from(flags[i]),
+        parallel::Mode::ExclusiveFwd,
+    )
+    .0
 }
 
 /// Backward `enumerate`: the `i`-th true element receives the count of
 /// true elements strictly *after* it (used by `split`, Figure 3).
 /// Fused like [`enumerate`]; the blocks are walked right-to-left.
 pub fn back_enumerate(flags: &[bool]) -> Vec<usize> {
-    parallel::scan_map_backward_by(flags, usize::from, 0, |a, b| a + b)
+    index_sum_scan(
+        flags.len(),
+        |i| usize::from(flags[i]),
+        parallel::Mode::ExclusiveBwd,
+    )
+    .0
 }
 
 /// Number of true flags (a fused map→reduce).
 pub fn count(flags: &[bool]) -> usize {
-    parallel::reduce_map_by(flags, usize::from, 0, |a, b| a + b)
+    parallel::reduce_engine(
+        parallel::default_schedule(),
+        flags.len(),
+        |i| usize::from(flags[i]),
+        0usize,
+        |a, b| a.wrapping_add(b),
+        <crate::op::Sum as ScanOp<usize>>::simd_tile(),
+    )
+}
+
+/// The funnel for every §2.2 flag-counting step: a fused 0/1 `+`-scan
+/// by index with the `usize` sum tile attached (integer index counts
+/// reassociate exactly, so the vector path cannot change a result).
+fn index_sum_scan<G>(n: usize, g: G, mode: parallel::Mode) -> (Vec<usize>, usize)
+where
+    G: Fn(usize) -> usize + Sync,
+{
+    parallel::engine(
+        parallel::default_schedule(),
+        n,
+        g,
+        0usize,
+        |a, b| a.wrapping_add(b),
+        |_, s| s,
+        mode,
+        <crate::op::Sum as ScanOp<usize>>::simd_tile(),
+    )
 }
 
 /// `copy` (Figure 1): copy the first element over all elements.
@@ -237,17 +273,14 @@ pub fn split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> (Vec<T>, usize) {
     }
     // Fused: the negated 0/1 flags are loaded inside the scans, so
     // neither `not_flags` nor a ones vector is materialized.
-    let (i_down, n_false) =
-        parallel::scan_map_with_total_by(flags, |f| usize::from(!f), 0, |a, b| a + b);
+    let (i_down, n_false) = index_sum_scan(
+        flags.len(),
+        |i| usize::from(!flags[i]),
+        parallel::Mode::ExclusiveFwd,
+    );
     let i_up = back_enumerate(flags);
     // Figure 3: I-up = n - back-enumerate(Flags) - 1
-    let index = parallel::tabulate_by(n, |i| {
-        if flags[i] {
-            n - i_up[i] - 1
-        } else {
-            i_down[i]
-        }
-    });
+    let index = parallel::tabulate_by(n, |i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] });
     (permute_unchecked(a, &index), n_false)
 }
 
@@ -255,15 +288,14 @@ pub fn split_count<T: ScanElem>(a: &[T], flags: &[bool]) -> (Vec<T>, usize) {
 /// data. Useful when several vectors must be split by the same flags.
 pub fn split_index(flags: &[bool]) -> Vec<usize> {
     let n = flags.len();
-    let i_down = parallel::scan_map_by(flags, |f| usize::from(!f), 0, |a, b| a + b);
+    let i_down = index_sum_scan(
+        flags.len(),
+        |i| usize::from(!flags[i]),
+        parallel::Mode::ExclusiveFwd,
+    )
+    .0;
     let i_up = back_enumerate(flags);
-    parallel::tabulate_by(n, |i| {
-        if flags[i] {
-            n - i_up[i] - 1
-        } else {
-            i_down[i]
-        }
-    })
+    parallel::tabulate_by(n, |i| if flags[i] { n - i_up[i] - 1 } else { i_down[i] })
 }
 
 /// Three-way split keys for [`split3`].
@@ -307,7 +339,11 @@ pub fn split3<T: ScanElem>(a: &[T], buckets: &[Bucket]) -> (Vec<T>, usize, usize
 /// Destination index of each element under [`split3`].
 pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
     let count_of = |want: Bucket| {
-        parallel::scan_map_with_total_by(buckets, |b| usize::from(b == want), 0, |a, b| a + b)
+        index_sum_scan(
+            buckets.len(),
+            |i| usize::from(buckets[i] == want),
+            parallel::Mode::ExclusiveFwd,
+        )
     };
     let (lo_scan, n_lo) = count_of(Bucket::Lo);
     let (mid_scan, n_mid) = count_of(Bucket::Mid);
@@ -330,8 +366,11 @@ pub fn split3_index(buckets: &[Bucket]) -> Vec<usize> {
 pub fn pack<T: ScanElem>(a: &[T], keep: &[bool]) -> Vec<T> {
     assert_eq!(a.len(), keep.len(), "pack length mismatch");
     // Fused enumerate-with-total: one pass, no 0/1 vector.
-    let (dest, total) =
-        parallel::scan_map_with_total_by(keep, usize::from, 0, |a, b| a + b);
+    let (dest, total) = index_sum_scan(
+        keep.len(),
+        |i| usize::from(keep[i]),
+        parallel::Mode::ExclusiveFwd,
+    );
     let mut out: Vec<T> = Vec::with_capacity(total);
     // SAFETY: `enumerate` assigns the kept elements the distinct indices
     // 0..total in order, so every slot is written exactly once.
@@ -407,7 +446,12 @@ fn flag_merge_impl<T: ScanElem>(flags: &[bool], a: &[T], b: &[T]) -> Result<Vec<
             actual: n_true,
         });
     }
-    let a_pos = parallel::scan_map_by(flags, |f| usize::from(!f), 0, |x, y| x + y);
+    let a_pos = index_sum_scan(
+        flags.len(),
+        |i| usize::from(!flags[i]),
+        parallel::Mode::ExclusiveFwd,
+    )
+    .0;
     let b_pos = enumerate(flags);
     Ok(parallel::tabulate_by(flags.len(), |i| {
         if flags[i] {
@@ -599,10 +643,7 @@ mod tests {
         let f = [true, false, false];
         assert_eq!(try_split(&a, &f), Ok(split(&a, &f)));
         assert_eq!(try_pack(&a, &f), Ok(vec![5]));
-        assert_eq!(
-            try_select(&f, &a, &[9, 9, 9]),
-            Ok(vec![5, 9, 9])
-        );
+        assert_eq!(try_select(&f, &a, &[9, 9, 9]), Ok(vec![5, 9, 9]));
         use Bucket::*;
         let b = [Hi, Lo, Mid];
         assert_eq!(try_split3(&a, &b), Ok(split3(&a, &b)));

@@ -34,12 +34,26 @@
 //! Both schedules use the same block plan, so for a given pool width
 //! they reassociate the operator identically and produce bit-identical
 //! results even for non-associative operators like float addition.
+//!
+//! Two orthogonal upgrades close the gap to the memcpy roofline:
+//!
+//! - **SIMD tiles** ([`crate::simd`]): when the operator registers a
+//!   vectorized tile kernel (exact integer `+`/`max`, plain or
+//!   segmented pairs), every span — sequential, blocked, or lookback —
+//!   stages loads through an L1-resident buffer and scans it in
+//!   register instead of element-at-a-time.
+//! - **Single-pass lookback** ([`Schedule::Lookback`],
+//!   [`crate::lookback`]): replaces the two passes over the input with
+//!   one, chaining block offsets through a descriptor array instead of
+//!   a barriered offset scan. The two-pass engine stays as the
+//!   differential baseline, exactly like `Spawn`.
 
 use crate::deadline::ScanDeadline;
 use crate::error::ExecError;
 use crate::pool;
-use std::panic::{catch_unwind, AssertUnwindSafe};
+use crate::simd::SimdTile;
 use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Inputs shorter than this are scanned sequentially; the extra pass
 /// and cross-thread handoff do not pay for themselves below roughly
@@ -100,6 +114,14 @@ pub enum Schedule {
     Spawn,
     /// Force the sequential kernels regardless of input size.
     Sequential,
+    /// Single-pass decoupled lookback over the pool: each block scans
+    /// once and chains its offset through a descriptor array
+    /// ([`crate::lookback`]) instead of a second pass. Reassociates
+    /// like the sequential kernel *per block*, but the block
+    /// decomposition differs from the two-pass plan, so only exact
+    /// (freely reassociable) operators should compare bit-identical
+    /// across schedules.
+    Lookback,
 }
 
 static DEFAULT_SCHEDULE: AtomicU8 = AtomicU8::new(0);
@@ -113,6 +135,7 @@ pub fn set_default_schedule(s: Schedule) {
         Schedule::Pooled => 0,
         Schedule::Spawn => 1,
         Schedule::Sequential => 2,
+        Schedule::Lookback => 3,
     };
     DEFAULT_SCHEDULE.store(v, Ordering::Relaxed);
 }
@@ -122,6 +145,7 @@ pub fn default_schedule() -> Schedule {
     match DEFAULT_SCHEDULE.load(Ordering::Relaxed) {
         1 => Schedule::Spawn,
         2 => Schedule::Sequential,
+        3 => Schedule::Lookback,
         _ => Schedule::Pooled,
     }
 }
@@ -184,7 +208,7 @@ pub(crate) enum Mode {
 }
 
 impl Mode {
-    fn backward(self) -> bool {
+    pub(crate) fn backward(self) -> bool {
         matches!(self, Mode::ExclusiveBwd | Mode::InclusiveBwd)
     }
 
@@ -240,11 +264,13 @@ pub(crate) fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, t
         // Under `cfg(loom)` there is no global pool (a static would
         // leak state across explored executions), so the pooled
         // schedule degrades to the sequential loop; the loom suite
-        // models `WorkerPool` directly instead.
+        // models `WorkerPool` directly instead. `Lookback` reaches
+        // here only for its non-scan phases (reduce/fill), which run
+        // on the pool like `Pooled`.
         #[cfg(not(loom))]
-        Schedule::Pooled => pool::global().run(nblocks, task),
+        Schedule::Pooled | Schedule::Lookback => pool::global().run(nblocks, task),
         #[cfg(loom)]
-        Schedule::Pooled => {
+        Schedule::Pooled | Schedule::Lookback => {
             for b in 0..nblocks {
                 task(b);
             }
@@ -271,7 +297,7 @@ pub(crate) fn run_blocks<F: Fn(usize) + Sync>(sched: Schedule, nblocks: usize, t
 pub(crate) fn engine_width(sched: Schedule) -> usize {
     match sched {
         Schedule::Sequential => 1,
-        Schedule::Spawn | Schedule::Pooled => pool::global_threads(),
+        Schedule::Spawn | Schedule::Pooled | Schedule::Lookback => pool::global_threads(),
     }
 }
 
@@ -285,6 +311,9 @@ pub(crate) fn go_parallel(sched: Schedule, n: usize) -> bool {
             // sequential when it has a single lane.
             Schedule::Spawn => true,
             Schedule::Pooled => pool::global_threads() > 1,
+            // Lookback pays off at any width: even inline on a width-1
+            // pool it reads the input once instead of twice.
+            Schedule::Lookback => true,
         }
 }
 
@@ -313,44 +342,256 @@ pub(crate) fn block_range(n: usize, nblocks: usize, b: usize) -> core::ops::Rang
     start..start + base + usize::from(b < rem)
 }
 
-/// Sequential fused scan: one pass, any direction, emit-projected.
-fn seq_engine<S, U, L, F, E>(n: usize, load: &L, identity: S, f: &F, emit: &E, mode: Mode) -> (Vec<U>, S)
+/// One contiguous span of a scan, in traversal order, optionally
+/// staged through a SIMD tile kernel. `write(i, state)` receives each
+/// index's scan state (pre- or post-combine per `mode`); the return
+/// value is the carry-out — the inclusive fold of the span into
+/// `seed`. Every scan path (sequential, blocked down sweep, lookback
+/// block) funnels through this one loop.
+pub(crate) fn scan_span<S, L, F, W>(
+    r: core::ops::Range<usize>,
+    load: &L,
+    seed: S,
+    f: &F,
+    mode: Mode,
+    tile: Option<&SimdTile<S>>,
+    write: &mut W,
+) -> S
 where
     S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+    W: FnMut(usize, S),
+{
+    let Some(t) = tile else {
+        // Scalar reference loop — unchanged association and traversal.
+        let mut acc = seed;
+        if mode.backward() {
+            for i in r.rev() {
+                let x = load(i);
+                if mode.inclusive() {
+                    acc = f(acc, x);
+                    write(i, acc);
+                } else {
+                    write(i, acc);
+                    acc = f(acc, x);
+                }
+            }
+        } else {
+            for i in r {
+                let x = load(i);
+                if mode.inclusive() {
+                    acc = f(acc, x);
+                    write(i, acc);
+                } else {
+                    write(i, acc);
+                    acc = f(acc, x);
+                }
+            }
+        }
+        return acc;
+    };
+    // Tiled path: stage up to TILE loads in an L1-resident buffer (in
+    // index order), scan it in register, hand the states to `write`.
+    // Tiles exist only for exact operators, so the reassociation
+    // inside the kernel cannot change any bit of the result.
+    let mut buf: Vec<S> = Vec::with_capacity(crate::simd::TILE.min(r.len()));
+    let mut acc = seed;
+    if mode.backward() {
+        let mut hi = r.end;
+        while hi > r.start {
+            let lo = hi - (hi - r.start).min(crate::simd::TILE);
+            buf.clear();
+            buf.extend((lo..hi).map(load));
+            acc = (t.bwd)(&mut buf, acc, mode.inclusive());
+            for (k, &s) in buf.iter().enumerate() {
+                write(lo + k, s);
+            }
+            hi = lo;
+        }
+    } else {
+        let mut lo = r.start;
+        while lo < r.end {
+            let hi = (lo + crate::simd::TILE).min(r.end);
+            buf.clear();
+            buf.extend((lo..hi).map(load));
+            acc = (t.fwd)(&mut buf, acc, mode.inclusive());
+            for (k, &s) in buf.iter().enumerate() {
+                write(lo + k, s);
+            }
+            lo = hi;
+        }
+    }
+    acc
+}
+
+/// Fallible [`scan_span`]: checks the deadline between strides and
+/// returns `(carry, bailed)` — on a bail the carry is garbage and the
+/// caller must discard the pass (the token latch makes the post-phase
+/// check authoritative).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn try_scan_span<S, L, F, W>(
+    r: core::ops::Range<usize>,
+    load: &L,
+    seed: S,
+    f: &F,
+    mode: Mode,
+    tile: Option<&SimdTile<S>>,
+    d: Option<&ScanDeadline>,
+    write: &mut W,
+) -> (S, bool)
+where
+    S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+    W: FnMut(usize, S),
+{
+    let mut acc = seed;
+    if mode.backward() {
+        let mut hi = r.end;
+        while hi > r.start {
+            let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
+            acc = scan_span(lo..hi, load, acc, f, mode, tile, write);
+            hi = lo;
+            if hi > r.start && check(d).is_err() {
+                return (acc, true);
+            }
+        }
+    } else {
+        let mut lo = r.start;
+        while lo < r.end {
+            let hi = (lo + CANCEL_STRIDE).min(r.end);
+            acc = scan_span(lo..hi, load, acc, f, mode, tile, write);
+            lo = hi;
+            if lo < r.end && check(d).is_err() {
+                return (acc, true);
+            }
+        }
+    }
+    (acc, false)
+}
+
+/// One contiguous span of a reduction in traversal order; the tiled
+/// path stages each chunk in traversal order before folding, so
+/// non-commutative operators (the segmented pair combine) fold in the
+/// same order as the scalar loop.
+pub(crate) fn reduce_span<S, L, F>(
+    r: core::ops::Range<usize>,
+    load: &L,
+    seed: S,
+    f: &F,
+    mode: Mode,
+    tile: Option<&SimdTile<S>>,
+) -> S
+where
+    S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+{
+    let Some(t) = tile else {
+        let mut acc = seed;
+        if mode.backward() {
+            for i in r.rev() {
+                acc = f(acc, load(i));
+            }
+        } else {
+            for i in r {
+                acc = f(acc, load(i));
+            }
+        }
+        return acc;
+    };
+    let mut buf: Vec<S> = Vec::with_capacity(crate::simd::TILE.min(r.len()));
+    let mut acc = seed;
+    if mode.backward() {
+        let mut hi = r.end;
+        while hi > r.start {
+            let lo = hi - (hi - r.start).min(crate::simd::TILE);
+            buf.clear();
+            buf.extend((lo..hi).rev().map(load));
+            acc = (t.reduce)(&buf, acc);
+            hi = lo;
+        }
+    } else {
+        let mut lo = r.start;
+        while lo < r.end {
+            let hi = (lo + crate::simd::TILE).min(r.end);
+            buf.clear();
+            buf.extend((lo..hi).map(load));
+            acc = (t.reduce)(&buf, acc);
+            lo = hi;
+        }
+    }
+    acc
+}
+
+/// Fallible [`reduce_span`]; same contract as [`try_scan_span`].
+pub(crate) fn try_reduce_span<S, L, F>(
+    r: core::ops::Range<usize>,
+    load: &L,
+    seed: S,
+    f: &F,
+    mode: Mode,
+    tile: Option<&SimdTile<S>>,
+    d: Option<&ScanDeadline>,
+) -> (S, bool)
+where
+    S: Copy,
+    L: Fn(usize) -> S,
+    F: Fn(S, S) -> S,
+{
+    let mut acc = seed;
+    if mode.backward() {
+        let mut hi = r.end;
+        while hi > r.start {
+            let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
+            acc = reduce_span(lo..hi, load, acc, f, mode, tile);
+            hi = lo;
+            if hi > r.start && check(d).is_err() {
+                return (acc, true);
+            }
+        }
+    } else {
+        let mut lo = r.start;
+        while lo < r.end {
+            let hi = (lo + CANCEL_STRIDE).min(r.end);
+            acc = reduce_span(lo..hi, load, acc, f, mode, tile);
+            lo = hi;
+            if lo < r.end && check(d).is_err() {
+                return (acc, true);
+            }
+        }
+    }
+    (acc, false)
+}
+
+/// Sequential fused scan: one pass, any direction, emit-projected.
+fn seq_engine<S, U, L, F, E>(
+    n: usize,
+    load: &L,
+    identity: S,
+    f: &F,
+    emit: &E,
+    mode: Mode,
+    tile: Option<&SimdTile<S>>,
+) -> (Vec<U>, S)
+where
+    S: Copy,
+    U: Copy,
     L: Fn(usize) -> S,
     F: Fn(S, S) -> S,
     E: Fn(usize, S) -> U,
 {
     let mut out: Vec<U> = Vec::with_capacity(n);
-    let mut acc = identity;
-    if mode.backward() {
-        {
-            let spare = out.spare_capacity_mut();
-            for i in (0..n).rev() {
-                let x = load(i);
-                if mode.inclusive() {
-                    acc = f(acc, x);
-                    spare[i].write(emit(i, acc));
-                } else {
-                    spare[i].write(emit(i, acc));
-                    acc = f(acc, x);
-                }
-            }
-        }
-        // SAFETY: the loop above wrote every index in `0..n`.
-        unsafe { out.set_len(n) };
-    } else {
-        for i in 0..n {
-            let x = load(i);
-            if mode.inclusive() {
-                acc = f(acc, x);
-                out.push(emit(i, acc));
-            } else {
-                out.push(emit(i, acc));
-                acc = f(acc, x);
-            }
-        }
-    }
+    let acc = {
+        let o = out.as_mut_ptr();
+        // SAFETY: `scan_span` writes every index in `0..n` exactly
+        // once (single-threaded), before the `set_len` below.
+        let mut write = |i: usize, s: S| unsafe { o.add(i).write(emit(i, s)) };
+        scan_span(0..n, load, identity, f, mode, tile, &mut write)
+    };
+    // SAFETY: every index in `0..n` was initialized above.
+    unsafe { out.set_len(n) };
     (out, acc)
 }
 
@@ -360,7 +601,11 @@ where
 /// offset scan.
 ///
 /// `f` must be associative with identity `identity`; the blocked
-/// schedule reassociates combines across blocks.
+/// schedule reassociates combines across blocks. A `tile` (typed
+/// entry points pass [`crate::op::ScanOp::simd_tile`]) vectorizes the
+/// inner loops without changing any result bit — tiles are registered
+/// only for exact operators.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn engine<S, U, L, F, E>(
     sched: Schedule,
     n: usize,
@@ -369,6 +614,7 @@ pub(crate) fn engine<S, U, L, F, E>(
     f: F,
     emit: E,
     mode: Mode,
+    tile: Option<&SimdTile<S>>,
 ) -> (Vec<U>, S)
 where
     S: Copy + Send + Sync,
@@ -378,11 +624,14 @@ where
     E: Fn(usize, S) -> U + Sync,
 {
     if !go_parallel(sched, n) {
-        return seq_engine(n, &load, identity, &f, &emit, mode);
+        return seq_engine(n, &load, identity, &f, &emit, mode, tile);
+    }
+    if sched == Schedule::Lookback {
+        return crate::lookback::lookback_engine(n, &load, identity, &f, &emit, mode, tile);
     }
     let nblocks = plan_blocks(n, engine_width(sched));
     if nblocks <= 1 {
-        return seq_engine(n, &load, identity, &f, &emit, mode);
+        return seq_engine(n, &load, identity, &f, &emit, mode, tile);
     }
 
     // Up sweep: one partial reduction per block, in traversal order.
@@ -393,16 +642,7 @@ where
         let f = &f;
         run_blocks(sched, nblocks, move |b| {
             let r = block_range(n, nblocks, b);
-            let mut acc = identity;
-            if mode.backward() {
-                for i in r.rev() {
-                    acc = f(acc, load(i));
-                }
-            } else {
-                for i in r {
-                    acc = f(acc, load(i));
-                }
-            }
+            let acc = reduce_span(r, load, identity, f, mode, tile);
             // SAFETY: task `b` writes only index `b` (see `SendPtr`).
             unsafe { p.get().add(b).write(acc) };
         });
@@ -438,34 +678,11 @@ where
         let emit = &emit;
         run_blocks(sched, nblocks, move |b| {
             let r = block_range(n, nblocks, b);
-            let mut acc = offsets[b];
             // SAFETY: blocks are disjoint and cover `0..n`, so task `b`
             // writes each of its indices exactly once into the
             // uninitialized buffer before the `set_len` below.
-            let put = |i: usize, v: U| unsafe { o.get().add(i).write(v) };
-            if mode.backward() {
-                for i in r.rev() {
-                    let x = load(i);
-                    if mode.inclusive() {
-                        acc = f(acc, x);
-                        put(i, emit(i, acc));
-                    } else {
-                        put(i, emit(i, acc));
-                        acc = f(acc, x);
-                    }
-                }
-            } else {
-                for i in r {
-                    let x = load(i);
-                    if mode.inclusive() {
-                        acc = f(acc, x);
-                        put(i, emit(i, acc));
-                    } else {
-                        put(i, emit(i, acc));
-                        acc = f(acc, x);
-                    }
-                }
-            }
+            let mut write = |i: usize, s: S| unsafe { o.get().add(i).write(emit(i, s)) };
+            scan_span(r, load, offsets[b], f, mode, tile, &mut write);
         });
     }
     // SAFETY: every index in `0..n` was initialized by exactly one block.
@@ -474,18 +691,21 @@ where
 }
 
 /// Blocked reduction through a load closure.
-pub(crate) fn reduce_engine<S, L, F>(sched: Schedule, n: usize, load: L, identity: S, f: F) -> S
+pub(crate) fn reduce_engine<S, L, F>(
+    sched: Schedule,
+    n: usize,
+    load: L,
+    identity: S,
+    f: F,
+    tile: Option<&SimdTile<S>>,
+) -> S
 where
     S: Copy + Send + Sync,
     L: Fn(usize) -> S + Sync,
     F: Fn(S, S) -> S + Sync,
 {
     if !go_parallel(sched, n) {
-        let mut acc = identity;
-        for i in 0..n {
-            acc = f(acc, load(i));
-        }
-        return acc;
+        return reduce_span(0..n, &load, identity, &f, Mode::ExclusiveFwd, tile);
     }
     let nblocks = plan_blocks(n, engine_width(sched));
     let mut partials = vec![identity; nblocks];
@@ -494,10 +714,8 @@ where
         let load = &load;
         let f = &f;
         run_blocks(sched, nblocks, move |b| {
-            let mut acc = identity;
-            for i in block_range(n, nblocks, b) {
-                acc = f(acc, load(i));
-            }
+            let r = block_range(n, nblocks, b);
+            let acc = reduce_span(r, load, identity, f, Mode::ExclusiveFwd, tile);
             // SAFETY: task `b` writes only index `b`.
             unsafe { p.get().add(b).write(acc) };
         });
@@ -554,9 +772,9 @@ pub(crate) fn try_run_blocks<F: Fn(usize) + Sync>(
     match sched {
         // See `run_blocks`: no global pool under `cfg(loom)`.
         #[cfg(not(loom))]
-        Schedule::Pooled => pool::global().try_run(nblocks, deadline, task),
+        Schedule::Pooled | Schedule::Lookback => pool::global().try_run(nblocks, deadline, task),
         #[cfg(loom)]
-        Schedule::Pooled => {
+        Schedule::Pooled | Schedule::Lookback => {
             for b in 0..nblocks {
                 if check(deadline).is_err() {
                     break;
@@ -599,6 +817,7 @@ pub(crate) fn try_run_blocks<F: Fn(usize) + Sync>(
 
 /// Fallible sequential fused scan: [`seq_engine`] with a deadline check
 /// every [`CANCEL_STRIDE`] elements. Same traversal, same association.
+#[allow(clippy::too_many_arguments)]
 fn try_seq_engine<S, U, L, F, E>(
     n: usize,
     load: &L,
@@ -606,62 +825,34 @@ fn try_seq_engine<S, U, L, F, E>(
     f: &F,
     emit: &E,
     mode: Mode,
+    tile: Option<&SimdTile<S>>,
     d: Option<&ScanDeadline>,
 ) -> Result<(Vec<U>, S), ExecError>
 where
     S: Copy,
+    U: Copy,
     L: Fn(usize) -> S,
     F: Fn(S, S) -> S,
     E: Fn(usize, S) -> U,
 {
     check(d)?;
     let mut out: Vec<U> = Vec::with_capacity(n);
-    let mut acc = identity;
-    if mode.backward() {
-        {
-            let spare = out.spare_capacity_mut();
-            let mut hi = n;
-            while hi > 0 {
-                let lo = hi.saturating_sub(CANCEL_STRIDE);
-                for i in (lo..hi).rev() {
-                    let x = load(i);
-                    if mode.inclusive() {
-                        acc = f(acc, x);
-                        spare[i].write(emit(i, acc));
-                    } else {
-                        spare[i].write(emit(i, acc));
-                        acc = f(acc, x);
-                    }
-                }
-                hi = lo;
-                if hi > 0 {
-                    check(d)?;
-                }
-            }
-        }
-        // SAFETY: the loop above wrote every index in `0..n` (an early
-        // deadline return leaves `out` at length 0, which is fine).
-        unsafe { out.set_len(n) };
-    } else {
-        let mut lo = 0usize;
-        while lo < n {
-            let hi = (lo + CANCEL_STRIDE).min(n);
-            for i in lo..hi {
-                let x = load(i);
-                if mode.inclusive() {
-                    acc = f(acc, x);
-                    out.push(emit(i, acc));
-                } else {
-                    out.push(emit(i, acc));
-                    acc = f(acc, x);
-                }
-            }
-            lo = hi;
-            if lo < n {
-                check(d)?;
-            }
-        }
+    let (acc, bailed) = {
+        let o = out.as_mut_ptr();
+        // SAFETY: single-threaded; each index in `0..n` is written at
+        // most once, and `set_len` below only runs on the unbailed
+        // path, where every index was written.
+        let mut write = |i: usize, s: S| unsafe { o.add(i).write(emit(i, s)) };
+        try_scan_span(0..n, load, identity, f, mode, tile, d, &mut write)
+    };
+    if bailed {
+        // Dropping `out` at length 0 discards the partial prefix
+        // (`U: Copy`, nothing needs dropping). A bail implies the
+        // token latched, so surface its error.
+        return Err(check(d).err().unwrap_or(ExecError::DeadlineExceeded));
     }
+    // SAFETY: the unbailed span initialized every index in `0..n`.
+    unsafe { out.set_len(n) };
     Ok((out, acc))
 }
 
@@ -689,6 +880,7 @@ pub(crate) fn try_engine<S, U, L, F, E>(
     f: F,
     emit: E,
     mode: Mode,
+    tile: Option<&SimdTile<S>>,
     deadline: Option<&ScanDeadline>,
 ) -> Result<(Vec<U>, S), ExecError>
 where
@@ -699,7 +891,7 @@ where
     E: Fn(usize, S) -> U + Sync,
 {
     match catch_unwind(AssertUnwindSafe(|| {
-        try_engine_inner(sched, n, &load, identity, &f, &emit, mode, deadline)
+        try_engine_inner(sched, n, &load, identity, &f, &emit, mode, tile, deadline)
     })) {
         Ok(r) => r,
         Err(_) => Err(ExecError::WorkerLost { panics: 1 }),
@@ -716,6 +908,7 @@ fn try_engine_inner<S, U, L, F, E>(
     f: &F,
     emit: &E,
     mode: Mode,
+    tile: Option<&SimdTile<S>>,
     d: Option<&ScanDeadline>,
 ) -> Result<(Vec<U>, S), ExecError>
 where
@@ -727,11 +920,14 @@ where
 {
     check(d)?;
     if !go_parallel(sched, n) {
-        return try_seq_engine(n, load, identity, f, emit, mode, d);
+        return try_seq_engine(n, load, identity, f, emit, mode, tile, d);
+    }
+    if sched == Schedule::Lookback {
+        return crate::lookback::try_lookback_engine(n, load, identity, f, emit, mode, tile, d);
     }
     let nblocks = plan_blocks(n, engine_width(sched));
     if nblocks <= 1 {
-        return try_seq_engine(n, load, identity, f, emit, mode, d);
+        return try_seq_engine(n, load, identity, f, emit, mode, tile, d);
     }
 
     // Up sweep, as in `engine`, with per-stride bail-out.
@@ -740,29 +936,7 @@ where
         let p = SendPtr(partials.as_mut_ptr());
         try_run_blocks(sched, nblocks, d, move |b| {
             let r = block_range(n, nblocks, b);
-            let mut acc = identity;
-            let mut bailed = false;
-            if mode.backward() {
-                let mut hi = r.end;
-                while hi > r.start && !bailed {
-                    let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
-                    for i in (lo..hi).rev() {
-                        acc = f(acc, load(i));
-                    }
-                    hi = lo;
-                    bailed = hi > r.start && check(d).is_err();
-                }
-            } else {
-                let mut lo = r.start;
-                while lo < r.end && !bailed {
-                    let hi = (lo + CANCEL_STRIDE).min(r.end);
-                    for i in lo..hi {
-                        acc = f(acc, load(i));
-                    }
-                    lo = hi;
-                    bailed = lo < r.end && check(d).is_err();
-                }
-            }
+            let (acc, _bailed) = try_reduce_span(r, load, identity, f, mode, tile, d);
             // A bailed block writes a garbage partial; the post-phase
             // deadline check below discards the whole pass.
             // SAFETY: task `b` writes only index `b` (see `SendPtr`).
@@ -799,54 +973,11 @@ where
         let offsets = &offsets;
         try_run_blocks(sched, nblocks, d, move |b| {
             let r = block_range(n, nblocks, b);
-            let mut acc = offsets[b];
-            let mut bailed = false;
             // SAFETY: blocks are disjoint and cover `0..n`, so each
             // write targets an index unique to this block; `set_len`
             // only runs if no block bailed (post-phase deadline check).
-            let put = |i: usize, v: U| unsafe { o.get().add(i).write(v) };
-            let emit_range = |lo: usize, hi: usize, acc: &mut S| {
-                if mode.backward() {
-                    for i in (lo..hi).rev() {
-                        let x = load(i);
-                        if mode.inclusive() {
-                            *acc = f(*acc, x);
-                            put(i, emit(i, *acc));
-                        } else {
-                            put(i, emit(i, *acc));
-                            *acc = f(*acc, x);
-                        }
-                    }
-                } else {
-                    for i in lo..hi {
-                        let x = load(i);
-                        if mode.inclusive() {
-                            *acc = f(*acc, x);
-                            put(i, emit(i, *acc));
-                        } else {
-                            put(i, emit(i, *acc));
-                            *acc = f(*acc, x);
-                        }
-                    }
-                }
-            };
-            if mode.backward() {
-                let mut hi = r.end;
-                while hi > r.start && !bailed {
-                    let lo = hi.saturating_sub(CANCEL_STRIDE).max(r.start);
-                    emit_range(lo, hi, &mut acc);
-                    hi = lo;
-                    bailed = hi > r.start && check(d).is_err();
-                }
-            } else {
-                let mut lo = r.start;
-                while lo < r.end && !bailed {
-                    let hi = (lo + CANCEL_STRIDE).min(r.end);
-                    emit_range(lo, hi, &mut acc);
-                    lo = hi;
-                    bailed = lo < r.end && check(d).is_err();
-                }
-            }
+            let mut write = |i: usize, s: S| unsafe { o.get().add(i).write(emit(i, s)) };
+            try_scan_span(r, load, offsets[b], f, mode, tile, d, &mut write);
         })?;
     }
     // Authoritative for the down sweep: a bailed block means the token
@@ -865,6 +996,7 @@ pub(crate) fn try_reduce_engine<S, L, F>(
     load: L,
     identity: S,
     f: F,
+    tile: Option<&SimdTile<S>>,
     d: Option<&ScanDeadline>,
 ) -> Result<S, ExecError>
 where
@@ -875,17 +1007,10 @@ where
     match catch_unwind(AssertUnwindSafe(|| {
         check(d)?;
         if !go_parallel(sched, n) {
-            let mut acc = identity;
-            let mut lo = 0usize;
-            while lo < n {
-                let hi = (lo + CANCEL_STRIDE).min(n);
-                for i in lo..hi {
-                    acc = f(acc, load(i));
-                }
-                lo = hi;
-                if lo < n {
-                    check(d)?;
-                }
+            let (acc, bailed) =
+                try_reduce_span(0..n, &load, identity, &f, Mode::ExclusiveFwd, tile, d);
+            if bailed {
+                return Err(check(d).err().unwrap_or(ExecError::DeadlineExceeded));
             }
             return Ok(acc);
         }
@@ -897,17 +1022,8 @@ where
             let f = &f;
             try_run_blocks(sched, nblocks, d, move |b| {
                 let r = block_range(n, nblocks, b);
-                let mut acc = identity;
-                let mut lo = r.start;
-                let mut bailed = false;
-                while lo < r.end && !bailed {
-                    let hi = (lo + CANCEL_STRIDE).min(r.end);
-                    for i in lo..hi {
-                        acc = f(acc, load(i));
-                    }
-                    lo = hi;
-                    bailed = lo < r.end && check(d).is_err();
-                }
+                let (acc, _bailed) =
+                    try_reduce_span(r, load, identity, f, Mode::ExclusiveFwd, tile, d);
                 // SAFETY: task `b` writes only index `b`.
                 unsafe { p.get().add(b).write(acc) };
             })?;
@@ -939,7 +1055,17 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveFwd).0
+    engine(
+        sched,
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+        None,
+    )
+    .0
 }
 
 /// Inclusive scan; parallel above [`PAR_THRESHOLD`], sequential below.
@@ -957,7 +1083,17 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::InclusiveFwd).0
+    engine(
+        sched,
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::InclusiveFwd,
+        None,
+    )
+    .0
 }
 
 /// Exclusive *backward* scan: element `i` receives the combine, in
@@ -977,7 +1113,17 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveBwd).0
+    engine(
+        sched,
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveBwd,
+        None,
+    )
+    .0
 }
 
 /// Inclusive backward scan; see [`exclusive_scan_backward_by`].
@@ -995,7 +1141,17 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::InclusiveBwd).0
+    engine(
+        sched,
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::InclusiveBwd,
+        None,
+    )
+    .0
 }
 
 /// Fallible [`exclusive_scan_by`]: identical result on success, but
@@ -1023,8 +1179,18 @@ where
     F: Fn(T, T) -> T + Sync,
 {
     let d = crate::deadline::current();
-    try_engine(sched, a.len(), |i| a[i], identity, f, |_, s| s, Mode::ExclusiveFwd, d.as_ref())
-        .map(|r| r.0)
+    try_engine(
+        sched,
+        a.len(),
+        |i| a[i],
+        identity,
+        f,
+        |_, s| s,
+        Mode::ExclusiveFwd,
+        None,
+        d.as_ref(),
+    )
+    .map(|r| r.0)
 }
 
 /// Fallible [`inclusive_scan_by`]; see [`try_exclusive_scan_by`] for
@@ -1043,6 +1209,7 @@ where
         f,
         |_, s| s,
         Mode::InclusiveFwd,
+        None,
         d.as_ref(),
     )
     .map(|r| r.0)
@@ -1050,11 +1217,7 @@ where
 
 /// Fallible [`exclusive_scan_backward_by`]; see
 /// [`try_exclusive_scan_by`] for the failure contract.
-pub fn try_exclusive_scan_backward_by<T, F>(
-    a: &[T],
-    identity: T,
-    f: F,
-) -> Result<Vec<T>, ExecError>
+pub fn try_exclusive_scan_backward_by<T, F>(a: &[T], identity: T, f: F) -> Result<Vec<T>, ExecError>
 where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
@@ -1068,6 +1231,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveBwd,
+        None,
         d.as_ref(),
     )
     .map(|r| r.0)
@@ -1075,11 +1239,7 @@ where
 
 /// Fallible [`inclusive_scan_backward_by`]; see
 /// [`try_exclusive_scan_by`] for the failure contract.
-pub fn try_inclusive_scan_backward_by<T, F>(
-    a: &[T],
-    identity: T,
-    f: F,
-) -> Result<Vec<T>, ExecError>
+pub fn try_inclusive_scan_backward_by<T, F>(a: &[T], identity: T, f: F) -> Result<Vec<T>, ExecError>
 where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
@@ -1093,6 +1253,7 @@ where
         f,
         |_, s| s,
         Mode::InclusiveBwd,
+        None,
         d.as_ref(),
     )
     .map(|r| r.0)
@@ -1114,6 +1275,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveFwd,
+        None,
         d.as_ref(),
     )
 }
@@ -1140,7 +1302,7 @@ where
     F: Fn(T, T) -> T + Sync,
 {
     let d = crate::deadline::current();
-    try_reduce_engine(sched, a.len(), |i| a[i], identity, f, d.as_ref())
+    try_reduce_engine(sched, a.len(), |i| a[i], identity, f, None, d.as_ref())
 }
 
 /// Exclusive scan that also returns the total reduction, in one pass
@@ -1158,6 +1320,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveFwd,
+        None,
     )
 }
 
@@ -1178,6 +1341,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveFwd,
+        None,
     )
     .0
 }
@@ -1199,6 +1363,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveFwd,
+        None,
     )
 }
 
@@ -1218,6 +1383,7 @@ where
         f,
         |_, s| s,
         Mode::ExclusiveBwd,
+        None,
     )
     .0
 }
@@ -1231,7 +1397,7 @@ where
     G: Fn(T) -> U + Sync,
     F: Fn(U, U) -> U + Sync,
 {
-    reduce_engine(default_schedule(), a.len(), |i| g(a[i]), identity, f)
+    reduce_engine(default_schedule(), a.len(), |i| g(a[i]), identity, f, None)
 }
 
 /// Reduction; parallel above [`PAR_THRESHOLD`].
@@ -1249,7 +1415,7 @@ where
     T: Copy + Send + Sync,
     F: Fn(T, T) -> T + Sync,
 {
-    reduce_engine(sched, a.len(), |i| a[i], identity, f)
+    reduce_engine(sched, a.len(), |i| a[i], identity, f, None)
 }
 
 /// Parallel elementwise map into a fresh vector (the paper's
@@ -1319,7 +1485,10 @@ mod tests {
         assert!(exclusive_scan_backward_by(&e, 0, |a, b| a + b).is_empty());
         assert_eq!(seq_exclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![0]);
         assert_eq!(seq_inclusive_scan_by(&[7u32], 0, |a, b| a + b), vec![7]);
-        assert_eq!(inclusive_scan_backward_by(&[7u32], 0, |a, b| a + b), vec![7]);
+        assert_eq!(
+            inclusive_scan_backward_by(&[7u32], 0, |a, b| a + b),
+            vec![7]
+        );
     }
 
     #[test]
@@ -1327,7 +1496,12 @@ mod tests {
         let n = PAR_THRESHOLD * 3 + 17;
         let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
         let seq = seq_exclusive_scan_by(&a, 0, |x, y| x.wrapping_add(y));
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             let got = exclusive_scan_by_sched(sched, &a, 0, |x, y| x.wrapping_add(y));
             assert_eq!(seq, got, "schedule {sched:?}");
         }
@@ -1338,7 +1512,7 @@ mod tests {
         let n = PAR_THRESHOLD * 2 + 3;
         let a: Vec<u64> = (0..n as u64).map(|i| (i * 48271) % 104729).collect();
         let seq = seq_inclusive_scan_by(&a, 0, |x, y| x.max(y));
-        for sched in [Schedule::Pooled, Schedule::Spawn] {
+        for sched in [Schedule::Pooled, Schedule::Lookback, Schedule::Spawn] {
             assert_eq!(seq, inclusive_scan_by_sched(sched, &a, 0, |x, y| x.max(y)));
         }
     }
@@ -1353,7 +1527,12 @@ mod tests {
             expect_exc.reverse();
             let mut expect_inc = seq_inclusive_scan_by(&rev, 0u64, |x, y| x.wrapping_add(y));
             expect_inc.reverse();
-            for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+            for sched in [
+                Schedule::Pooled,
+                Schedule::Lookback,
+                Schedule::Spawn,
+                Schedule::Sequential,
+            ] {
                 assert_eq!(
                     exclusive_scan_backward_by_sched(sched, &a, 0, |x, y| x.wrapping_add(y)),
                     expect_exc,
@@ -1394,7 +1573,10 @@ mod tests {
         rev_ones.reverse();
         let mut expect = seq_exclusive_scan_by(&rev_ones, 0, |a, b| a + b);
         expect.reverse();
-        assert_eq!(scan_map_backward_by(&flags, usize::from, 0, |a, b| a + b), expect);
+        assert_eq!(
+            scan_map_backward_by(&flags, usize::from, 0, |a, b| a + b),
+            expect
+        );
         assert_eq!(
             reduce_map_by(&flags, usize::from, 0, |a, b| a + b),
             ones.iter().sum::<usize>()
@@ -1405,7 +1587,12 @@ mod tests {
     fn reduce_matches() {
         let n = PAR_THRESHOLD * 2 + 5;
         let a: Vec<u64> = (0..n as u64).collect();
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             assert_eq!(
                 reduce_by_sched(sched, &a, 0, |x, y| x + y),
                 (n as u64 - 1) * (n as u64) / 2
@@ -1508,7 +1695,12 @@ mod tests {
     fn try_scans_match_infallible_on_the_happy_path() {
         let n = PAR_THRESHOLD * 2 + 13;
         let a: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9e3779b9)).collect();
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             assert_eq!(
                 try_exclusive_scan_by_sched(sched, &a, 0, u64::wrapping_add).unwrap(),
                 exclusive_scan_by_sched(sched, &a, 0, u64::wrapping_add),
@@ -1549,7 +1741,12 @@ mod tests {
     fn try_scan_with_expired_deadline_is_typed() {
         let a: Vec<u64> = (0..(PAR_THRESHOLD as u64 * 2)).collect();
         let d = ScanDeadline::at(std::time::Instant::now());
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             let got = crate::deadline::with_deadline(&d, || {
                 try_exclusive_scan_by_sched(sched, &a, 0, |x, y| x + y)
             });
@@ -1565,7 +1762,12 @@ mod tests {
         // sweep: deterministic mid-flight cancellation with no timing.
         let n = PAR_THRESHOLD * 4;
         let a: Vec<u64> = (0..n as u64).collect();
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             let d = ScanDeadline::manual();
             let seen = AtomicUsize::new(0);
             let got = crate::deadline::with_deadline(&d, || {
@@ -1584,10 +1786,15 @@ mod tests {
                     |x, y| x + y,
                     |_, s| s,
                     Mode::ExclusiveFwd,
+                    None,
                     Some(d),
                 )
             });
-            assert_eq!(got.map(|r| r.1), Err(ExecError::Cancelled), "sched {sched:?}");
+            assert_eq!(
+                got.map(|r| r.1),
+                Err(ExecError::Cancelled),
+                "sched {sched:?}"
+            );
             // The strided bail-out means cancellation stopped the work
             // well short of the two full passes.
             assert!(
@@ -1601,7 +1808,12 @@ mod tests {
     fn try_scan_contains_operator_panics() {
         let n = PAR_THRESHOLD * 2;
         let a: Vec<u64> = (0..n as u64).collect();
-        for sched in [Schedule::Pooled, Schedule::Spawn, Schedule::Sequential] {
+        for sched in [
+            Schedule::Pooled,
+            Schedule::Lookback,
+            Schedule::Spawn,
+            Schedule::Sequential,
+        ] {
             let got = try_exclusive_scan_by_sched(sched, &a, 0, |x, y| {
                 assert!(x + y < 1_000_000, "operator exploded");
                 x + y

@@ -12,7 +12,12 @@
 //!
 //! - **Dependency-free**: a `Mutex`/`Condvar` gate broadcasts one job at
 //!   a time to the workers; tasks inside a job are claimed with a single
-//!   `fetch_add` each, so block-level load balancing is lock-free.
+//!   `fetch_add` each, so block-level load balancing is lock-free. The
+//!   `fetch_add` makes claiming *in-order*: task `t` is claimed only
+//!   after `0..t` have been claimed. That ordering is load-bearing for
+//!   the decoupled-lookback schedule ([`crate::lookback`]), whose
+//!   forward-progress argument needs a spinning block's predecessors to
+//!   be running or finished — never parked unstarted behind it.
 //! - **The submitter participates**: a pool of `k` threads keeps `k - 1`
 //!   parked workers, and the thread calling [`WorkerPool::run`] executes
 //!   tasks alongside them. A job therefore always completes even if no
@@ -47,9 +52,9 @@ use crate::error::ExecError;
 use crate::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use crate::sync::{thread, Arc, Condvar, Mutex, MutexGuard};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::PoisonError;
 #[cfg(not(loom))]
 use std::sync::OnceLock;
+use std::sync::PoisonError;
 use std::time::Duration;
 
 /// Hard cap on the pool width, far above any sane `SCAN_CORE_THREADS`.

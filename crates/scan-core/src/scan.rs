@@ -23,7 +23,7 @@ use crate::parallel;
 /// assert_eq!(scan::<Max, _>(&[3u32, 1, 4, 1, 5]), vec![0, 3, 3, 4, 4]);
 /// ```
 pub fn scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    parallel::exclusive_scan_by(a, O::identity(), O::combine)
+    typed_scan::<O, T>(a, parallel::Mode::ExclusiveFwd).0
 }
 
 /// Exclusive forward scan that also returns the total reduction
@@ -34,12 +34,12 @@ pub fn scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 /// offset scan (or of the sequential loop), so no re-combine or second
 /// traversal happens.
 pub fn scan_with_total<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> (Vec<T>, T) {
-    parallel::scan_with_total_by(a, O::identity(), O::combine)
+    typed_scan::<O, T>(a, parallel::Mode::ExclusiveFwd)
 }
 
 /// Inclusive forward scan: element `i` receives `a0 ⊕ ... ⊕ ai`.
 pub fn inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    parallel::inclusive_scan_by(a, O::identity(), O::combine)
+    typed_scan::<O, T>(a, parallel::Mode::InclusiveFwd).0
 }
 
 /// Exclusive backward scan: element `i` receives
@@ -53,17 +53,24 @@ pub fn inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
 /// assert_eq!(scan_backward::<Sum, _>(&[1u32, 2, 3, 4]), vec![9, 7, 4, 0]);
 /// ```
 pub fn scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    parallel::exclusive_scan_backward_by(a, O::identity(), O::combine)
+    typed_scan::<O, T>(a, parallel::Mode::ExclusiveBwd).0
 }
 
 /// Inclusive backward scan: element `i` receives `ai ⊕ ... ⊕ a(n-1)`.
 pub fn inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Vec<T> {
-    parallel::inclusive_scan_backward_by(a, O::identity(), O::combine)
+    typed_scan::<O, T>(a, parallel::Mode::InclusiveBwd).0
 }
 
 /// Reduction over the whole vector with operator `O`.
 pub fn reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> T {
-    parallel::reduce_by(a, O::identity(), O::combine)
+    parallel::reduce_engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| a[i],
+        O::identity(),
+        O::combine,
+        O::simd_tile(),
+    )
 }
 
 /// Fallible [`scan`]: identical result on success, but honors the
@@ -72,40 +79,79 @@ pub fn reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> T {
 /// [`crate::deadline::with_deadline`]) when a scan must not run
 /// longer than a budget.
 pub fn try_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
-    Ok(parallel::try_exclusive_scan_by(a, O::identity(), O::combine)?)
+    Ok(try_typed_scan::<O, T>(a, parallel::Mode::ExclusiveFwd)?.0)
 }
 
 /// Fallible [`scan_with_total`]; see [`try_scan`].
 pub fn try_scan_with_total<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<(Vec<T>, T)> {
-    Ok(parallel::try_scan_with_total_by(a, O::identity(), O::combine)?)
+    Ok(try_typed_scan::<O, T>(a, parallel::Mode::ExclusiveFwd)?)
 }
 
 /// Fallible [`inclusive_scan`]; see [`try_scan`].
 pub fn try_inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
-    Ok(parallel::try_inclusive_scan_by(a, O::identity(), O::combine)?)
+    Ok(try_typed_scan::<O, T>(a, parallel::Mode::InclusiveFwd)?.0)
 }
 
 /// Fallible [`scan_backward`]; see [`try_scan`].
 pub fn try_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
-    Ok(parallel::try_exclusive_scan_backward_by(
-        a,
-        O::identity(),
-        O::combine,
-    )?)
+    Ok(try_typed_scan::<O, T>(a, parallel::Mode::ExclusiveBwd)?.0)
 }
 
 /// Fallible [`inclusive_scan_backward`]; see [`try_scan`].
 pub fn try_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<Vec<T>> {
-    Ok(parallel::try_inclusive_scan_backward_by(
-        a,
-        O::identity(),
-        O::combine,
-    )?)
+    Ok(try_typed_scan::<O, T>(a, parallel::Mode::InclusiveBwd)?.0)
 }
 
 /// Fallible [`reduce`]; see [`try_scan`].
 pub fn try_reduce<O: ScanOp<T>, T: ScanElem>(a: &[T]) -> Result<T> {
-    Ok(parallel::try_reduce_by(a, O::identity(), O::combine)?)
+    let d = crate::deadline::current();
+    Ok(parallel::try_reduce_engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| a[i],
+        O::identity(),
+        O::combine,
+        O::simd_tile(),
+        d.as_ref(),
+    )?)
+}
+
+/// The one funnel for typed whole-slice scans: every public scan above
+/// lowers to this call, which is where the operator's registered SIMD
+/// tile (if the CPU has one) enters the engine. Closure-based
+/// `parallel::*_by` entry points stay scalar by design — the engine
+/// cannot prove an arbitrary closure exact, but `O::simd_tile` is
+/// registered only for operators whose reassociation is bit-exact.
+fn typed_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], mode: parallel::Mode) -> (Vec<T>, T) {
+    parallel::engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| a[i],
+        O::identity(),
+        O::combine,
+        |_, s| s,
+        mode,
+        O::simd_tile(),
+    )
+}
+
+/// Fallible [`typed_scan`], under the ambient deadline scope.
+fn try_typed_scan<O: ScanOp<T>, T: ScanElem>(
+    a: &[T],
+    mode: parallel::Mode,
+) -> core::result::Result<(Vec<T>, T), crate::error::ExecError> {
+    let d = crate::deadline::current();
+    parallel::try_engine(
+        parallel::default_schedule(),
+        a.len(),
+        |i| a[i],
+        O::identity(),
+        O::combine,
+        |_, s| s,
+        mode,
+        O::simd_tile(),
+        d.as_ref(),
+    )
 }
 
 /// In-place exclusive forward scan (no allocation); sequential.
@@ -155,7 +201,10 @@ mod tests {
     fn inclusive_forward() {
         let a = [1u32, 2, 3, 4];
         assert_eq!(inclusive_scan::<Sum, _>(&a), vec![1, 3, 6, 10]);
-        assert_eq!(inclusive_scan::<Max, _>(&[2u32, 9, 4, 11]), vec![2, 9, 9, 11]);
+        assert_eq!(
+            inclusive_scan::<Max, _>(&[2u32, 9, 4, 11]),
+            vec![2, 9, 9, 11]
+        );
     }
 
     #[test]

@@ -136,9 +136,10 @@ impl Segments {
             self.len(),
             |i| usize::from(self.is_head(i)),
             0usize,
-            |a, b| a + b,
+            |a, b| a.wrapping_add(b),
             |_, s| s - 1,
             parallel::Mode::InclusiveFwd,
+            <crate::op::Sum as ScanOp<usize>>::simd_tile(),
         )
         .0
     }
@@ -155,6 +156,7 @@ impl Segments {
             |a, b| a.max(b),
             |_, s| s,
             parallel::Mode::InclusiveFwd,
+            <crate::op::Max as ScanOp<usize>>::simd_tile(),
         )
         .0
     }
@@ -174,9 +176,7 @@ impl Segments {
     /// segmented scans by "reading the vector in reverse order" (§3.4).
     pub fn reversed(&self) -> Segments {
         let n = self.len();
-        let flags = (0..n)
-            .map(|j| j == 0 || self.is_head(n - j))
-            .collect();
+        let flags = (0..n).map(|j| j == 0 || self.is_head(n - j)).collect();
         Segments { flags }
     }
 }
@@ -229,6 +229,7 @@ pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
         seg_combine::<O, T>,
         |i, s: (T, bool)| if segs.is_head(i) { O::identity() } else { s.0 },
         parallel::Mode::ExclusiveFwd,
+        O::simd_seg_tile(),
     )
     .0
 }
@@ -237,10 +238,7 @@ pub fn seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
 /// panicking, honors the ambient [`crate::deadline`] scope, and
 /// contains operator panics — failures surface as
 /// [`crate::Error`] (`LengthMismatch` or `Exec`).
-pub fn try_seg_scan<O: ScanOp<T>, T: ScanElem>(
-    a: &[T],
-    segs: &Segments,
-) -> crate::Result<Vec<T>> {
+pub fn try_seg_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> crate::Result<Vec<T>> {
     if a.len() != segs.len() {
         return Err(crate::Error::LengthMismatch {
             expected: a.len(),
@@ -256,6 +254,7 @@ pub fn try_seg_scan<O: ScanOp<T>, T: ScanElem>(
         seg_combine::<O, T>,
         |i, s: (T, bool)| if segs.is_head(i) { O::identity() } else { s.0 },
         parallel::Mode::ExclusiveFwd,
+        O::simd_seg_tile(),
         d.as_ref(),
     )?;
     Ok(out)
@@ -275,6 +274,7 @@ pub fn seg_inclusive_scan<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -
         seg_combine::<O, T>,
         |_, s: (T, bool)| s.0,
         parallel::Mode::InclusiveFwd,
+        O::simd_seg_tile(),
     )
     .0
 }
@@ -300,6 +300,7 @@ pub fn seg_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) ->
         seg_combine::<O, T>,
         |i, s: (T, bool)| if is_tail(segs, i) { O::identity() } else { s.0 },
         parallel::Mode::ExclusiveBwd,
+        O::simd_seg_tile(),
     )
     .0
 }
@@ -308,10 +309,7 @@ pub fn seg_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) ->
 ///
 /// # Panics
 /// If `a.len() != segs.len()`.
-pub fn seg_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(
-    a: &[T],
-    segs: &Segments,
-) -> Vec<T> {
+pub fn seg_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(a: &[T], segs: &Segments) -> Vec<T> {
     assert_eq!(
         a.len(),
         segs.len(),
@@ -325,6 +323,7 @@ pub fn seg_inclusive_scan_backward<O: ScanOp<T>, T: ScanElem>(
         seg_combine::<O, T>,
         |_, s: (T, bool)| s.0,
         parallel::Mode::InclusiveBwd,
+        O::simd_seg_tile(),
     )
     .0
 }

@@ -1,14 +1,16 @@
 //! The crate's single swap point for synchronization primitives.
 //!
 //! Every concurrent module in `scan-core` (`pool`, `deadline`,
-//! `parallel`, `multi_split`) imports its sync types from here instead
-//! of `std::sync` directly. In a normal build the re-exports *are* the
-//! `std` types — zero cost, zero behavior change. Building with
-//! `RUSTFLAGS="--cfg loom"` swaps in the [`loom`] model-checker
-//! equivalents, which turn every atomic access, lock acquisition, and
-//! condvar wait into a scheduling decision the interleaving search can
-//! permute. `tests/loom_pool.rs` runs the pool's concurrency scenarios
-//! under that search.
+//! `parallel`, `multi_split`, `lookback`) imports its sync types from
+//! here instead of `std::sync` directly. In a normal build the
+//! re-exports *are* the `std` types — zero cost, zero behavior change.
+//! Building with `RUSTFLAGS="--cfg loom"` swaps in the [`loom`]
+//! model-checker equivalents, which turn every atomic access, lock
+//! acquisition, and condvar wait into a scheduling decision the
+//! interleaving search can permute. `tests/loom_pool.rs` runs the
+//! pool's concurrency scenarios under that search, and
+//! `tests/loom_lookback.rs` the lookback descriptor table's
+//! aggregate→prefix publication handshake.
 //!
 //! Two deliberate exceptions stay on `std` even under loom:
 //!

@@ -1,7 +1,8 @@
 //! Differential tests for the execution engine: every `*_by` entry
-//! point, under both parallel schedules ([`Schedule::Pooled`] and
-//! [`Schedule::Spawn`]) and all four scan directions, must agree with
-//! the sequential reference at sizes straddling `PAR_THRESHOLD`.
+//! point, under all three parallel schedules ([`Schedule::Pooled`],
+//! [`Schedule::Spawn`], and the single-pass [`Schedule::Lookback`])
+//! and all four scan directions, must agree with the sequential
+//! reference at sizes straddling `PAR_THRESHOLD`.
 //!
 //! The container running CI may expose a single core, which would give
 //! the lazy global pool width 1 and silently skip the parallel paths.
@@ -48,7 +49,7 @@ fn with_default_schedule<R>(s: Schedule, f: impl FnOnce() -> R) -> R {
     r
 }
 
-const PAR_SCHEDULES: [Schedule; 2] = [Schedule::Pooled, Schedule::Spawn];
+const PAR_SCHEDULES: [Schedule; 3] = [Schedule::Pooled, Schedule::Spawn, Schedule::Lookback];
 
 /// Sizes that straddle every interesting boundary: empty, tiny, just
 /// below/at/above the parallel threshold, a size that is not a multiple

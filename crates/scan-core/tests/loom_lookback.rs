@@ -1,0 +1,86 @@
+//! Model-checked publication protocol of the decoupled-lookback scan
+//! ([`scan_core::lookback`]).
+//!
+//! Build and run with:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p scan-core --test loom_lookback --release
+//! ```
+//!
+//! The descriptor table's whole correctness argument is one handshake:
+//! a block writes its payload slot, `Release`-stores the status word,
+//! and a successor reads the slot only after an `Acquire` load
+//! observes the status. These scenarios enumerate the interleavings of
+//! that handshake through the `crate::sync` swap point — every
+//! schedule the `aggregate → prefix` transition permits, not just the
+//! ones a timing test samples. Scenarios stay tiny (2–3 descriptors,
+//! one auxiliary thread): the protocol has no width-dependent edges.
+
+#![cfg(loom)]
+
+use scan_core::lookback::DescTable;
+use scan_core::sync::Arc;
+
+/// The fundamental handshake: a successor spinning on its predecessor
+/// resolves the same seed whether it observes the `AGG` publication,
+/// the `PREFIX` publication, or spins through `EMPTY` first.
+#[test]
+fn aggregate_then_prefix_publication_resolves() {
+    loom::model(|| {
+        let table: Arc<DescTable<u64>> = Arc::new(DescTable::new(2));
+        let t = table.clone();
+        let h = loom::thread::spawn(move || {
+            t.publish_aggregate(0, 5);
+            t.publish_prefix(0, 5);
+        });
+        // Block 1 looking back at block 0: every interleaving must
+        // resolve the exclusive prefix 5 — from the aggregate fold or
+        // from the published prefix, never from an unwritten slot.
+        let seed = table.lookback(1, 0u64, &|a, b| a + b, None);
+        assert_eq!(seed, Some(5));
+        h.join().unwrap();
+    });
+}
+
+/// A chain fold across two predecessors publishing concurrently:
+/// block 2 folds block 1's aggregate and grafts block 0's prefix, in
+/// traversal order, on every schedule.
+#[test]
+fn lookback_folds_aggregates_across_the_chain() {
+    loom::model(|| {
+        let table: Arc<DescTable<u64>> = Arc::new(DescTable::new(3));
+        let t0 = table.clone();
+        let h0 = loom::thread::spawn(move || {
+            t0.publish_prefix(0, 3);
+        });
+        let t1 = table.clone();
+        let h1 = loom::thread::spawn(move || {
+            t1.publish_aggregate(1, 4);
+        });
+        let seed = table.lookback(2, 0u64, &|a, b| a + b, None);
+        assert_eq!(seed, Some(7), "prefix(0)=3 folded with agg(1)=4");
+        h0.join().unwrap();
+        h1.join().unwrap();
+    });
+}
+
+/// Abandonment (the panic/deadline guard) must unblock a spinning
+/// successor on every schedule: it either observes the latch and bails
+/// (`None`) or observes the placeholder identity prefix the guard
+/// published — it never keeps spinning and never reads garbage.
+#[test]
+fn abandon_unblocks_spinning_successor() {
+    loom::model(|| {
+        let table: Arc<DescTable<u64>> = Arc::new(DescTable::new(2));
+        let t = table.clone();
+        let h = loom::thread::spawn(move || {
+            t.abandon(0, 0);
+        });
+        match table.lookback(1, 0u64, &|a, b| a + b, None) {
+            None => {} // saw the abandoned latch mid-spin
+            Some(v) => assert_eq!(v, 0, "only the identity placeholder is visible"),
+        }
+        h.join().unwrap();
+        assert!(table.is_abandoned());
+    });
+}

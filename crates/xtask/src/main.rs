@@ -6,9 +6,9 @@
 //! - **R1 `safety-comment`** — every `unsafe` token is immediately
 //!   preceded by a `// SAFETY:` comment (attributes and a trailing
 //!   same-line comment are allowed in between).
-//! - **R2 `unsafe-allowlist`** — `unsafe` appears only in the four
+//! - **R2 `unsafe-allowlist`** — `unsafe` appears only in the six
 //!   audited kernel modules of `scan-core` (`parallel`, `pool`,
-//!   `multi_split`, `ops`).
+//!   `multi_split`, `ops`, `simd`, `lookback`).
 //! - **R3 `no-raw-spawn`** — no `thread::spawn` / `thread::Builder`
 //!   outside `pool.rs`: all parallelism funnels through the worker
 //!   pool (the loom model) or scoped spawns. Bench binaries and test
@@ -20,6 +20,12 @@
 //! - **R5 `crate-lints`** — every crate root off the unsafe allowlist
 //!   carries `#![forbid(unsafe_code)]`; `scan-core`'s root carries
 //!   `#![deny(unsafe_op_in_unsafe_fn)]`.
+//! - **R6 `simd-confinement`** — ISA dispatch stays in `simd.rs`: no
+//!   `is_x86_feature_detected!` and no `target_feature` (the
+//!   `#[target_feature]` attribute or `cfg(target_feature)`) anywhere
+//!   else. Everything downstream consumes the dispatched `SimdTile`
+//!   table, so there is exactly one place where "what the CPU supports"
+//!   is decided — and one place to audit when a new ISA is added.
 //!
 //! The scanner is a hand-rolled lexer (no `syn`, no dependencies) that
 //! masks out comments, string literals and char literals, so a pattern
@@ -68,11 +74,13 @@ fn workspace_root() -> PathBuf {
 }
 
 /// Files allowed to contain `unsafe` (the audited kernel modules).
-const UNSAFE_ALLOWLIST: [&str; 4] = [
+const UNSAFE_ALLOWLIST: [&str; 6] = [
     "crates/scan-core/src/parallel.rs",
     "crates/scan-core/src/pool.rs",
     "crates/scan-core/src/multi_split.rs",
     "crates/scan-core/src/ops.rs",
+    "crates/scan-core/src/simd.rs",
+    "crates/scan-core/src/lookback.rs",
 ];
 
 /// The one file allowed to spawn threads directly.
@@ -80,6 +88,9 @@ const SPAWN_ALLOWLIST: &str = "crates/scan-core/src/pool.rs";
 
 /// The one file allowed to read the wall clock.
 const CLOCK_ALLOWLIST: &str = "crates/scan-core/src/deadline.rs";
+
+/// The one file allowed to detect or gate on CPU features.
+const SIMD_ALLOWLIST: &str = "crates/scan-core/src/simd.rs";
 
 /// The crate root that holds `unsafe` and therefore carries
 /// `deny(unsafe_op_in_unsafe_fn)` instead of `forbid(unsafe_code)`.
@@ -252,7 +263,9 @@ impl Lexed {
                         i = k + 1;
                         // Scan to `"` followed by `hashes` hashes.
                         while i < n {
-                            if b[i] == '"' && i + hashes < n + 1 && b[i + 1..].len() >= hashes
+                            if b[i] == '"'
+                                && i + hashes < n + 1
+                                && b[i + 1..].len() >= hashes
                                 && b[i + 1..i + 1 + hashes].iter().all(|&h| h == '#')
                             {
                                 for _ in 0..=hashes {
@@ -348,8 +361,7 @@ impl Lexed {
         let mut l = 0;
         while l < nl {
             let t = self.code[l].trim();
-            let is_test_attr =
-                t.starts_with("#[") && t.contains("cfg") && t.contains("test");
+            let is_test_attr = t.starts_with("#[") && t.contains("cfg") && t.contains("test");
             if !is_test_attr {
                 l += 1;
                 continue;
@@ -484,6 +496,24 @@ fn check_file(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
                 line: l + 1,
                 msg: "`unsafe` without an immediately preceding `// SAFETY:` comment".to_string(),
             });
+        }
+    }
+
+    // R6: ISA dispatch confinement. Strict scope — benches, bins and
+    // test modules included: code that wants vectorization goes
+    // through the dispatched tile table, never re-detects the CPU.
+    if rel != SIMD_ALLOWLIST {
+        for pat in ["is_x86_feature_detected", "target_feature"] {
+            for &l in &lx.lines_with_word(pat) {
+                out.push(Violation {
+                    rule: "simd-confinement",
+                    path: rel.to_string(),
+                    line: l + 1,
+                    msg: format!(
+                        "`{pat}` outside {SIMD_ALLOWLIST}: consume the dispatched tile table"
+                    ),
+                });
+            }
         }
     }
 
@@ -634,7 +664,11 @@ mod tests {
     #[test]
     fn lexer_distinguishes_lifetimes_from_char_literals() {
         let lx = Lexed::new("fn f<'a>(x: &'a str) -> char { 'x' }\nlet c = '\\n';\n");
-        assert!(lx.code[0].contains("'a"), "lifetime preserved: {}", lx.code[0]);
+        assert!(
+            lx.code[0].contains("'a"),
+            "lifetime preserved: {}",
+            lx.code[0]
+        );
         assert!(!lx.code[0].contains("'x'"), "char literal masked");
         assert!(!lx.code[1].contains("\\n"));
     }
@@ -837,6 +871,42 @@ fn after() {}
         let mut vs = rules(&t.lint());
         vs.sort_unstable();
         assert_eq!(vs, vec!["no-raw-clock", "no-raw-spawn"]);
+    }
+
+    #[test]
+    fn simd_dispatch_outside_simd_module_is_flagged() {
+        let t = Tree::new();
+        // Runtime detection smuggled into an engine module...
+        t.write(
+            "crates/scan-core/src/parallel.rs",
+            "pub fn fast() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n",
+        );
+        // ...a compile-time gate in a bench binary...
+        t.write(
+            "crates/demo/src/bin/bench.rs",
+            "#[cfg(target_feature = \"avx2\")]\nfn main() {}\n",
+        );
+        // ...and a `#[target_feature]` kernel outside the dispatch module.
+        t.write(
+            "crates/demo/src/lib.rs",
+            "#![forbid(unsafe_code)]\n#[target_feature(enable = \"avx2\")]\nfn k() {}\n",
+        );
+        let mut vs = rules(&t.lint());
+        vs.sort_unstable();
+        assert_eq!(
+            vs,
+            vec!["simd-confinement", "simd-confinement", "simd-confinement"]
+        );
+    }
+
+    #[test]
+    fn simd_dispatch_in_simd_module_is_allowed() {
+        let t = Tree::new();
+        t.write(
+            "crates/scan-core/src/simd.rs",
+            "#[target_feature(enable = \"avx2\")]\nfn k() {}\npub fn have() -> bool { std::arch::is_x86_feature_detected!(\"avx2\") }\n",
+        );
+        assert_eq!(t.lint(), vec![]);
     }
 
     #[test]

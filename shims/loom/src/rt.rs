@@ -61,7 +61,10 @@ enum Run {
     /// Blocked acquiring the mutex with this key.
     Lock(Key),
     /// Blocked in a condvar wait (`timed` = `wait_timeout`).
-    Cv { cv: Key, timed: bool },
+    Cv {
+        cv: Key,
+        timed: bool,
+    },
     /// Blocked joining the thread with this id.
     Join(usize),
     Finished,
@@ -189,12 +192,32 @@ impl Scheduler {
     /// Returns the chosen thread, or `None` on failure (the caller
     /// must panic out of the model).
     fn decide(&self, st: &mut MutexGuard<'_, State>, me: usize) -> Option<usize> {
+        self.decide_at(st, me, false)
+    }
+
+    fn decide_at(
+        &self,
+        st: &mut MutexGuard<'_, State>,
+        me: usize,
+        yielding: bool,
+    ) -> Option<usize> {
         st.steps += 1;
         if st.steps > MAX_STEPS {
-            self.fail(st, format!("livelock: exceeded {MAX_STEPS} scheduling steps"));
+            self.fail(
+                st,
+                format!("livelock: exceeded {MAX_STEPS} scheduling steps"),
+            );
             return None;
         }
         let mut enabled = st.enabled();
+        if yielding && enabled.len() > 1 {
+            // A yielding thread volunteers the token: hand it to some
+            // other runnable thread. Staying put would be a pure
+            // stutter (no other thread ran, so the yielder's re-reads
+            // observe identical state), so that branch is redundant;
+            // dropping `me` also makes the switch preemption-free.
+            enabled.retain(|&t| t != me);
+        }
         if enabled.is_empty() {
             // Quiescence rule: with nothing runnable, a timed condvar
             // wait is allowed to "time out". Wake the first one.
@@ -213,7 +236,13 @@ impl Scheduler {
                     .enumerate()
                     .map(|(i, t)| format!("thread {i}: {:?}", t.run))
                     .collect();
-                self.fail(st, format!("deadlock: every thread is blocked\n  {}", snapshot.join("\n  ")));
+                self.fail(
+                    st,
+                    format!(
+                        "deadlock: every thread is blocked\n  {}",
+                        snapshot.join("\n  ")
+                    ),
+                );
                 return None;
             }
         }
@@ -280,6 +309,24 @@ impl Scheduler {
             panic!("loom-shim: halting thread {me} after model failure");
         }
         let Some(chosen) = self.decide(&mut st, me) else {
+            drop(st);
+            panic!("loom-shim: model failure (see driver diagnostic)");
+        };
+        self.transfer(st, me, chosen, true);
+    }
+
+    /// A voluntary descheduling point ([`crate::thread::yield_now`]):
+    /// the token goes to another runnable thread when one exists, so a
+    /// yield-based spin loop cannot monopolize the schedule (the
+    /// default stay-on-me policy would otherwise spin it straight into
+    /// the livelock bound).
+    pub(crate) fn yield_point(&self, me: usize) {
+        let mut st = lock_state(&self.st);
+        if st.failure.is_some() {
+            drop(st);
+            panic!("loom-shim: halting thread {me} after model failure");
+        }
+        let Some(chosen) = self.decide_at(&mut st, me, true) else {
             drop(st);
             panic!("loom-shim: model failure (see driver diagnostic)");
         };

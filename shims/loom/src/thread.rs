@@ -44,10 +44,7 @@ impl<T> JoinHandle<T> {
                         let _ = os.join();
                     }
                 }
-                let taken = result
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .take();
+                let taken = result.lock().unwrap_or_else(PoisonError::into_inner).take();
                 match taken {
                     Some(r) => r,
                     None => Err(Box::new(
@@ -140,7 +137,7 @@ where
 /// [`std::thread::yield_now`] outside one.
 pub fn yield_now() {
     match rt::ctx() {
-        Some((sched, me)) => sched.point(me),
+        Some((sched, me)) => sched.yield_point(me),
         None => std::thread::yield_now(),
     }
 }

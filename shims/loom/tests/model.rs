@@ -210,3 +210,23 @@ fn std_fallback_outside_model() {
     let t = thread::spawn(|| 7);
     assert_eq!(t.join().unwrap(), 7);
 }
+
+/// A yield-based spin loop must terminate: `yield_now` hands the
+/// token to another runnable thread, so the publisher always gets to
+/// run and the spinner cannot monopolize the schedule into the
+/// livelock bound (re-running a spinner with no intervening writer is
+/// a pure stutter, so those schedules are redundant anyway).
+#[test]
+fn yield_spin_loop_terminates() {
+    loom::model(|| {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f2 = Arc::clone(&flag);
+        let t = thread::spawn(move || {
+            f2.store(true, Ordering::SeqCst);
+        });
+        while !flag.load(Ordering::SeqCst) {
+            thread::yield_now();
+        }
+        t.join().unwrap();
+    });
+}
