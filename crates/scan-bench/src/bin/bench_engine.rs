@@ -187,33 +187,26 @@ fn run_chaos(smoke: bool) {
             (
                 "sparse-delay",
                 ChaosPlan {
-                    seed: 2,
                     delay_every: 4096,
                     delay_us: 50,
-                    panic_every: 0,
-                    lie_every: 0,
+                    ..ChaosPlan::quiet(2)
                 },
                 None,
             ),
             (
                 "delay+deadline",
                 ChaosPlan {
-                    seed: 3,
                     delay_every: 64,
                     delay_us: 100,
-                    panic_every: 0,
-                    lie_every: 0,
+                    ..ChaosPlan::quiet(3)
                 },
                 Some(2),
             ),
             (
                 "worker-panic",
                 ChaosPlan {
-                    seed: 4,
-                    delay_every: 0,
-                    delay_us: 0,
                     panic_every: 5000,
-                    lie_every: 0,
+                    ..ChaosPlan::quiet(4)
                 },
                 None,
             ),
@@ -498,6 +491,83 @@ fn main() {
                 n,
                 old_ns: old,
                 new_ns: new,
+            });
+        }
+    }
+
+    // Streaming and sharded execution against the in-RAM kernel on
+    // the same data: `old` is one whole-input in-RAM scan, `new` is
+    // the chunked constant-memory stream or the sharded executor at
+    // 1/2/4 shards. Bit-equality is asserted on every configuration
+    // before any timing counts.
+    {
+        use scan_core::{ScanStream, SliceSource};
+        use scan_shard::{ScanKind as ShardKind, ShardConfig, ShardedExecutor};
+        use std::sync::Arc;
+
+        let (stream_n, chunk_len) = if smoke {
+            (1usize << 16, 1usize << 12)
+        } else {
+            (1usize << 28, 1usize << 20)
+        };
+        let k = k_override.unwrap_or(3);
+        let data = Arc::new(random_keys(stream_n, 32, 0x57BEA));
+        let want = scan::<Sum, _>(&data);
+        let base_ns = time_median(w, k, || scan::<Sum, _>(&data));
+
+        // Equality outside the timed region: the stream's chunks
+        // concatenate to the in-RAM scan.
+        let mut got = Vec::with_capacity(stream_n);
+        let mut s = ScanStream::<Sum, u64, _>::exclusive(SliceSource::new(&data, chunk_len));
+        s.process(|c| got.extend_from_slice(c))
+            .expect("stream failed");
+        assert_eq!(got, want, "streamed scan disagrees with in-RAM");
+        drop(got);
+
+        let stream_ns = time_median(w, k, || {
+            let mut s =
+                ScanStream::<Sum, u64, _>::exclusive(SliceSource::new(&data, chunk_len));
+            s.process(|c| {
+                std::hint::black_box(c.len());
+            })
+            .expect("stream failed")
+        });
+        rows.push(Row {
+            kernel: "+-scan(stream)",
+            n: stream_n,
+            old_ns: base_ns,
+            new_ns: stream_ns,
+        });
+
+        for shards in [1usize, 2, 4] {
+            // Generous watchdog: this is a perf harness, not a loss
+            // test — on a loaded 1-core runner a 2^28 shard job can
+            // overrun the default 5 s watchdog and register a
+            // spurious (recovered) loss, failing the losses==0 gate.
+            let ex = ShardedExecutor::new(ShardConfig {
+                shards,
+                watchdog: std::time::Duration::from_secs(300),
+                ..ShardConfig::default()
+            });
+            assert_eq!(
+                ex.scan_arc(ShardKind::Sum, &data).expect("sharded scan failed"),
+                want,
+                "sharded scan disagrees with in-RAM at {shards} shards"
+            );
+            let h = ex.health();
+            assert_eq!(h.losses, 0, "no chaos configured, no losses expected");
+            let sharded_ns = time_median(w, k, || {
+                ex.scan_arc(ShardKind::Sum, &data).expect("sharded scan failed")
+            });
+            rows.push(Row {
+                kernel: match shards {
+                    1 => "+-scan(shard=1)",
+                    2 => "+-scan(shard=2)",
+                    _ => "+-scan(shard=4)",
+                },
+                n: stream_n,
+                old_ns: base_ns,
+                new_ns: sharded_ns,
             });
         }
     }

@@ -87,6 +87,22 @@ pub enum Error {
         /// The count they actually produced.
         actual: usize,
     },
+    /// A persisted carry checkpoint failed its digest check when a
+    /// stream tried to resume from it (see [`crate::stream`]): the
+    /// stored carry or chunk index was corrupted between save and
+    /// restore, so resuming would silently mis-seed every element
+    /// after the restart point.
+    CheckpointCorrupt {
+        /// Chunk index the corrupt checkpoint claimed.
+        chunk: u64,
+    },
+    /// Resuming a stream required repositioning its chunk source at a
+    /// mid-stream chunk, but the source does not support seeking
+    /// (see [`crate::stream::ChunkSource::seek`]).
+    SeekUnsupported {
+        /// Chunk index the resume needed to seek to.
+        chunk: u64,
+    },
     /// The execution layer failed (worker panic, deadline, cancel).
     Exec(ExecError),
 }
@@ -123,6 +139,12 @@ impl fmt::Display for Error {
             }
             Error::CountMismatch { expected, actual } => {
                 write!(f, "flag count mismatch: expected {expected}, got {actual}")
+            }
+            Error::CheckpointCorrupt { chunk } => {
+                write!(f, "carry checkpoint for chunk {chunk} failed its digest check")
+            }
+            Error::SeekUnsupported { chunk } => {
+                write!(f, "chunk source cannot seek to chunk {chunk} for resume")
             }
             Error::Exec(e) => write!(f, "execution failed: {e}"),
         }
@@ -161,6 +183,13 @@ mod tests {
             actual: 2,
         };
         assert_eq!(e.to_string(), "flag count mismatch: expected 3, got 2");
+        let e = Error::CheckpointCorrupt { chunk: 12 };
+        assert_eq!(
+            e.to_string(),
+            "carry checkpoint for chunk 12 failed its digest check"
+        );
+        let e = Error::SeekUnsupported { chunk: 5 };
+        assert_eq!(e.to_string(), "chunk source cannot seek to chunk 5 for resume");
         let e = Error::Exec(ExecError::DeadlineExceeded);
         assert_eq!(e.to_string(), "execution failed: deadline exceeded");
         let e = Error::Exec(ExecError::WorkerLost { panics: 2 });

@@ -50,6 +50,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod allocate;
+pub mod backoff;
 pub mod deadline;
 pub mod element;
 pub mod error;
@@ -64,6 +65,7 @@ pub mod segmented;
 pub mod segops;
 pub mod simd;
 pub mod simulate;
+pub mod stream;
 pub mod sync;
 pub mod vector;
 
@@ -81,6 +83,9 @@ pub use scan::{
     try_scan_with_total,
 };
 pub use segmented::{seg_inclusive_scan, seg_scan, seg_scan_backward, try_seg_scan, Segments};
+pub use stream::{
+    CarryCheckpoint, CarryDigest, ChunkSource, ScanStream, SegScanStream, SliceSource,
+};
 
 /// Convenience prelude: `use scan_core::prelude::*;`
 pub mod prelude {

@@ -40,6 +40,15 @@ pub enum ChaosEvent {
     Panic,
     /// Run the call but corrupt its result.
     Lie,
+    /// Kill the executing shard mid-job (delivered by `scan-shard`'s
+    /// worker loop as an injected panic inside the shard thread, so
+    /// the supervisor's panic containment and range re-execution are
+    /// what get exercised).
+    ShardKill,
+    /// Corrupt the carry a shard reports upward (the per-shard total
+    /// feeding the exclusive tree combine), so the O(n) verify and the
+    /// breaker quarantine paths are what get exercised.
+    CarryCorrupt,
 }
 
 /// A seeded, deterministic schedule of chaos events.
@@ -61,6 +70,16 @@ pub struct ChaosPlan {
     pub panic_every: u64,
     /// Corrupt the result every this many calls (0 = never).
     pub lie_every: u64,
+    /// Kill the executing shard every this many *shard jobs*
+    /// (0 = never). Only consulted by [`ChaosPlan::shard_event_for`].
+    pub shard_kill_every: u64,
+    /// Delay a shard job every this many shard jobs (0 = never); the
+    /// delay length reuses `delay_us`. Only consulted by
+    /// [`ChaosPlan::shard_event_for`].
+    pub shard_delay_every: u64,
+    /// Corrupt a shard's reported carry every this many shard jobs
+    /// (0 = never). Only consulted by [`ChaosPlan::shard_event_for`].
+    pub carry_corrupt_every: u64,
 }
 
 impl ChaosPlan {
@@ -72,6 +91,9 @@ impl ChaosPlan {
             delay_us: 0,
             panic_every: 0,
             lie_every: 0,
+            shard_kill_every: 0,
+            shard_delay_every: 0,
+            carry_corrupt_every: 0,
         }
     }
 
@@ -83,6 +105,26 @@ impl ChaosPlan {
         } else if due(self.lie_every) {
             ChaosEvent::Lie
         } else if due(self.delay_every) {
+            ChaosEvent::Delay(Duration::from_micros(self.delay_us))
+        } else {
+            ChaosEvent::None
+        }
+    }
+
+    /// The scheduled event for 1-based shard-job number `call`.
+    ///
+    /// Shard jobs count on their own clock, separate from scan calls,
+    /// so a plan can torment a `scan-shard` executor without touching
+    /// the backends underneath it. Precedence when several kinds land
+    /// on the same job: shard-kill > carry-corrupt > delay. The delay
+    /// length reuses `delay_us`.
+    pub fn shard_event_for(&self, call: u64) -> ChaosEvent {
+        let due = |every: u64| every != 0 && call.is_multiple_of(every);
+        if due(self.shard_kill_every) {
+            ChaosEvent::ShardKill
+        } else if due(self.carry_corrupt_every) {
+            ChaosEvent::CarryCorrupt
+        } else if due(self.shard_delay_every) {
             ChaosEvent::Delay(Duration::from_micros(self.delay_us))
         } else {
             ChaosEvent::None
@@ -133,7 +175,13 @@ impl<B: PrimitiveScans> ChaosBackend<B> {
         match self.plan.event_for(call) {
             ChaosEvent::Panic => panic!("chaos: injected panic at call {call}"),
             ChaosEvent::Delay(d) => std::thread::sleep(d),
-            ChaosEvent::None | ChaosEvent::Lie => {}
+            // Shard events never fire from `event_for`; they are
+            // scheduled by `shard_event_for` and delivered by the
+            // shard executor, not per-backend wrappers.
+            ChaosEvent::None
+            | ChaosEvent::Lie
+            | ChaosEvent::ShardKill
+            | ChaosEvent::CarryCorrupt => {}
         }
         let mut out = if max {
             self.inner.max_scan(a)
@@ -177,7 +225,10 @@ where
         match plan.event_for(call) {
             ChaosEvent::Panic => panic!("chaos: injected operator panic at application {call}"),
             ChaosEvent::Delay(d) => std::thread::sleep(d),
-            ChaosEvent::None | ChaosEvent::Lie => {}
+            ChaosEvent::None
+            | ChaosEvent::Lie
+            | ChaosEvent::ShardKill
+            | ChaosEvent::CarryCorrupt => {}
         }
         f(x, y)
     }
@@ -192,11 +243,11 @@ mod tests {
     #[test]
     fn schedule_is_deterministic_with_panic_precedence() {
         let p = ChaosPlan {
-            seed: 1,
             delay_every: 2,
             delay_us: 5,
             panic_every: 6,
             lie_every: 3,
+            ..ChaosPlan::quiet(1)
         };
         let events: Vec<ChaosEvent> = (1..=6).map(|c| p.event_for(c)).collect();
         assert_eq!(
@@ -213,6 +264,33 @@ mod tests {
         assert_eq!(p.event_for(12), ChaosEvent::Panic);
         let quiet = ChaosPlan::quiet(9);
         assert!((1..100).all(|c| quiet.event_for(c) == ChaosEvent::None));
+    }
+
+    #[test]
+    fn shard_schedule_is_deterministic_with_kill_precedence() {
+        let p = ChaosPlan {
+            delay_us: 9,
+            shard_kill_every: 6,
+            shard_delay_every: 2,
+            carry_corrupt_every: 3,
+            ..ChaosPlan::quiet(1)
+        };
+        let events: Vec<ChaosEvent> = (1..=6).map(|c| p.shard_event_for(c)).collect();
+        assert_eq!(
+            events,
+            vec![
+                ChaosEvent::None,
+                ChaosEvent::Delay(Duration::from_micros(9)),
+                ChaosEvent::CarryCorrupt,
+                ChaosEvent::Delay(Duration::from_micros(9)),
+                ChaosEvent::None,
+                ChaosEvent::ShardKill, // beats corrupt (6 % 3) and delay (6 % 2)
+            ]
+        );
+        // The shard clock is independent of the scan-call clock.
+        assert!((1..100).all(|c| p.event_for(c) == ChaosEvent::None));
+        let quiet = ChaosPlan::quiet(9);
+        assert!((1..100).all(|c| quiet.shard_event_for(c) == ChaosEvent::None));
     }
 
     #[test]
@@ -280,11 +358,11 @@ mod tests {
         let a: Vec<u64> = (0..48).map(|i| (i * 5) % 31).collect();
         let good = scan_core::scan::<Sum, _>(&a);
         let plan = ChaosPlan {
-            seed: 7,
             delay_every: 7,
             delay_us: 10,
             panic_every: 5,
             lie_every: 3,
+            ..ChaosPlan::quiet(7)
         };
         let ex = crate::CheckedExecutor::new(Box::new(ChaosBackend::new(SoftwareScans, plan)))
             .with_fallback(Box::new(SoftwareScans));

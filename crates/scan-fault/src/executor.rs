@@ -35,59 +35,13 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use scan_core::simulate::PrimitiveScans;
 use scan_core::{Max, Sum};
 
+use crate::breaker::{Breaker, Gate};
 use crate::error::FaultError;
-use crate::plan::SplitMix64;
 use crate::verify::verify_scan;
 
-/// Tuning knobs for the per-backend circuit breaker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct BreakerConfig {
-    /// Consecutive failed attempts (rejected or panicked) that open the
-    /// breaker on a backend.
-    pub failure_threshold: u32,
-    /// Quarantine length, in scans on the executor's logical clock,
-    /// applied the first time a backend opens.
-    pub base_quarantine: u64,
-    /// Backoff ceiling: each failed probation probe doubles the
-    /// quarantine up to this many scans.
-    pub max_quarantine: u64,
-    /// Up to this many extra scans of seeded jitter are added to each
-    /// quarantine, so a fleet of breakers opened by one incident does
-    /// not re-probe in lockstep. `0` disables jitter (exact backoff).
-    pub jitter: u64,
-    /// Seed for the jitter draw. The draw is a pure function of
-    /// `(seed, backend index, quarantine count)` — replaying the same
-    /// failure sequence reproduces the same quarantine schedule.
-    pub jitter_seed: u64,
-}
-
-impl Default for BreakerConfig {
-    fn default() -> Self {
-        BreakerConfig {
-            failure_threshold: 3,
-            base_quarantine: 8,
-            max_quarantine: 1024,
-            jitter: 3,
-            jitter_seed: 0x5eed_b10c_ba5e_0ff5,
-        }
-    }
-}
-
-/// Breaker position for one backend.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BreakerState {
-    /// Healthy: the backend is attempted normally.
-    Closed,
-    /// Quarantined: skipped until the logical scan clock reaches
-    /// `until`, then given one probation probe.
-    Open {
-        /// Scan-clock value at which the backend becomes probeable.
-        until: u64,
-        /// Current quarantine length; doubles (capped) per failed
-        /// probe.
-        backoff: u64,
-    },
-}
+// The breaker state machine lived in this module before `scan-shard`
+// needed it too; keep the historical paths working.
+pub use crate::breaker::{BreakerConfig, BreakerState};
 
 /// Health snapshot of one backend in the chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,36 +63,17 @@ pub struct BackendHealth {
 
 #[derive(Debug, Clone, Copy)]
 struct HealthInner {
-    state: BreakerState,
-    consecutive_failures: u32,
-    skipped: u64,
-    probes: u64,
-    quarantines: u64,
+    breaker: Breaker,
     panics: u64,
 }
 
 impl HealthInner {
     fn new() -> Self {
         HealthInner {
-            state: BreakerState::Closed,
-            consecutive_failures: 0,
-            skipped: 0,
-            probes: 0,
-            quarantines: 0,
+            breaker: Breaker::new(),
             panics: 0,
         }
     }
-}
-
-/// How the breaker admits a backend for the current scan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Gate {
-    /// Closed breaker: full retry budget.
-    Full,
-    /// Quarantine elapsed: exactly one probe attempt.
-    Probe,
-    /// Still quarantined: not attempted at all.
-    Skip,
 }
 
 /// Counters describing what a [`CheckedExecutor`] has done so far.
@@ -242,11 +177,11 @@ impl CheckedExecutor {
     pub fn backend_health(&self, i: usize) -> BackendHealth {
         let h = self.health.borrow()[i];
         BackendHealth {
-            state: h.state,
-            consecutive_failures: h.consecutive_failures,
-            skipped: h.skipped,
-            probes: h.probes,
-            quarantines: h.quarantines,
+            state: h.breaker.state(),
+            consecutive_failures: h.breaker.consecutive_failures(),
+            skipped: h.breaker.skipped(),
+            probes: h.breaker.probes(),
+            quarantines: h.breaker.quarantines(),
             panics: h.panics,
         }
     }
@@ -263,56 +198,13 @@ impl CheckedExecutor {
         }
     }
 
-    /// Open the breaker on backend `b_idx` at logical time `clock`,
-    /// doubling (capped) the backoff if it was already open. The
-    /// quarantine end gets a deterministic seeded jitter on top of the
-    /// backoff so co-failing breakers spread their re-probes; the
-    /// stored `backoff` stays exact, keeping the doubling schedule
-    /// independent of the jitter draws.
-    fn open_breaker(&self, b_idx: usize, clock: u64) {
-        let mut health = self.health.borrow_mut();
-        let h = &mut health[b_idx];
-        let backoff = match h.state {
-            BreakerState::Closed => self.breaker.base_quarantine.max(1),
-            BreakerState::Open { backoff, .. } => {
-                (backoff.saturating_mul(2)).min(self.breaker.max_quarantine.max(1))
-            }
-        };
-        let jitter = SplitMix64(
-            self.breaker
-                .jitter_seed
-                .wrapping_add((b_idx as u64).wrapping_mul(0x9E3779B97F4A7C15))
-                .wrapping_add(h.quarantines << 1),
-        )
-        .below(self.breaker.jitter.saturating_add(1));
-        h.state = BreakerState::Open {
-            until: clock.saturating_add(backoff).saturating_add(jitter),
-            backoff,
-        };
-        h.quarantines += 1;
-    }
-
     fn run(&self, max: bool, a: &[u64]) -> crate::Result<Vec<u64>> {
         scan_core::deadline::checkpoint()?;
         let clock = self.scans.get();
         self.scans.set(clock + 1);
         let mut attempts_here = 0u32;
         for (b_idx, backend) in self.chain.iter().enumerate() {
-            let gate = {
-                let mut health = self.health.borrow_mut();
-                let h = &mut health[b_idx];
-                match h.state {
-                    BreakerState::Closed => Gate::Full,
-                    BreakerState::Open { until, .. } if clock < until => {
-                        h.skipped += 1;
-                        Gate::Skip
-                    }
-                    BreakerState::Open { .. } => {
-                        h.probes += 1;
-                        Gate::Probe
-                    }
-                }
-            };
+            let gate = self.health.borrow_mut()[b_idx].breaker.gate(clock);
             if gate == Gate::Skip {
                 continue;
             }
@@ -361,21 +253,17 @@ impl CheckedExecutor {
                 };
                 match verified {
                     Some(out) => {
-                        let mut health = self.health.borrow_mut();
-                        let h = &mut health[b_idx];
-                        h.state = BreakerState::Closed;
-                        h.consecutive_failures = 0;
+                        self.health.borrow_mut()[b_idx].breaker.success();
                         return Ok(out);
                     }
                     None => {
-                        let failures = {
-                            let mut health = self.health.borrow_mut();
-                            let h = &mut health[b_idx];
-                            h.consecutive_failures += 1;
-                            h.consecutive_failures
-                        };
-                        if gate == Gate::Probe || failures >= self.breaker.failure_threshold {
-                            self.open_breaker(b_idx, clock);
+                        let opened = self.health.borrow_mut()[b_idx].breaker.failure(
+                            &self.breaker,
+                            b_idx as u64,
+                            clock,
+                            gate == Gate::Probe,
+                        );
+                        if opened {
                             break; // stop retrying a quarantined backend
                         }
                     }

@@ -39,6 +39,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod backend;
+pub mod breaker;
 pub mod chaos;
 pub mod error;
 pub mod executor;
@@ -46,8 +47,9 @@ pub mod plan;
 pub mod verify;
 
 pub use backend::FaultyCircuitBackend;
+pub use breaker::{Breaker, BreakerConfig, BreakerState, Gate};
 pub use chaos::{chaos_op, ChaosBackend, ChaosEvent, ChaosPlan};
 pub use error::{CorruptionKind, FaultError, Result};
-pub use executor::{BackendHealth, BreakerConfig, BreakerState, CheckedExecutor, CheckedStats};
+pub use executor::{BackendHealth, CheckedExecutor, CheckedStats};
 pub use plan::{FaultPlan, SplitMix64};
 pub use verify::{verify_scan, verify_scan_backward, verify_seg_scan, verify_seg_scan_backward};

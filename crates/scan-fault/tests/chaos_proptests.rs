@@ -65,12 +65,12 @@ fn reference_plus_scan(a: &[u64]) -> Vec<u64> {
 /// finishes well inside the watchdog window.
 fn plan_from(seed: u64, panic_every: u64, delay_every: u64, lie_every: u64) -> ChaosPlan {
     ChaosPlan {
-        seed,
         // 0 stays 0 (disabled); otherwise keep the period ≥ 16.
         delay_every: if delay_every == 0 { 0 } else { 16 + delay_every },
         delay_us: 20,
         panic_every,
         lie_every,
+        ..ChaosPlan::quiet(seed)
     }
 }
 

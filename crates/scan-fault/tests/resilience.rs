@@ -221,11 +221,9 @@ fn pooled_chaos_backend_never_leaks_panics() {
         let a: Vec<u64> = (0..n as u64).map(|x| x % 257).collect();
         let good = reference_plus_scan(&a);
         let plan = ChaosPlan {
-            seed: 23,
-            delay_every: 0,
-            delay_us: 0,
             panic_every: 3,
             lie_every: 2,
+            ..ChaosPlan::quiet(23)
         };
         let ex = CheckedExecutor::new(Box::new(ChaosBackend::new(SoftwareScans, plan)))
             .with_fallback(Box::new(SoftwareScans));

@@ -50,6 +50,7 @@ pub mod health;
 pub mod queue;
 pub mod request;
 pub mod service;
+pub mod sharded;
 
 pub use backend::{BatchBackend, PoolBackend, ScanKind};
 pub use error::{Result, ServiceError};
@@ -57,3 +58,4 @@ pub use health::{CoalescerHealth, ServiceHealth, ServiceMode, TenantCounters};
 pub use queue::{starvation_bound, FairQueue};
 pub use request::{RequestOp, ScanRequest, TenantId};
 pub use service::{ScanService, ServiceConfig};
+pub use sharded::ShardedBackend;

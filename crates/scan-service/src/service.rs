@@ -246,6 +246,20 @@ impl ScanService<PoolBackend> {
     }
 }
 
+impl ScanService<crate::sharded::ShardedBackend> {
+    /// A service whose mega-batches of `min_shard_len` elements or
+    /// more run on a sharded executor (loss recovery, verification,
+    /// per-shard quarantine — see [`scan_shard`]); smaller batches
+    /// stay on the single-pool kernels.
+    pub fn sharded(
+        cfg: ServiceConfig,
+        shard_cfg: scan_shard::ShardConfig,
+        min_shard_len: usize,
+    ) -> Self {
+        Self::with_backend(cfg, crate::sharded::ShardedBackend::new(shard_cfg, min_shard_len))
+    }
+}
+
 impl<B: BatchBackend> ScanService<B> {
     /// A service executing on a caller-provided backend.
     pub fn with_backend(cfg: ServiceConfig, backend: B) -> Self {
@@ -280,6 +294,12 @@ impl<B: BatchBackend> ScanService<B> {
     /// The configuration this service was built with.
     pub fn config(&self) -> &ServiceConfig {
         &self.cfg
+    }
+
+    /// The backend this service executes on (e.g. for inspecting a
+    /// [`crate::ShardedBackend`]'s executor health).
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
     fn lock_state(&self) -> MutexGuard<'_, State> {
@@ -634,23 +654,16 @@ impl<B: BatchBackend> ScanService<B> {
 
     /// Deterministic backoff: `base · 2^(attempt-1)` plus seeded
     /// uniform jitter so co-located retry storms decorrelate while
-    /// tests stay reproducible.
+    /// tests stay reproducible. The dispatch counter is the jitter
+    /// stream and the scan kind is the salt, so the two per-kind
+    /// groups of one batch back off on decorrelated schedules.
     fn backoff(&self, dispatch: u64, attempt: u32, kind: ScanKind) -> Duration {
-        let exp = self
-            .cfg
-            .backoff_base
-            .saturating_mul(1u32 << (attempt - 1).min(10));
-        let jitter_ns = self.cfg.backoff_jitter.as_nanos() as u64;
-        if jitter_ns == 0 {
-            return exp;
-        }
-        let stream = self
-            .cfg
-            .jitter_seed
-            .wrapping_add(dispatch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
-            .wrapping_add(u64::from(attempt) << 1)
-            .wrapping_add(matches!(kind, ScanKind::Max) as u64);
-        exp + Duration::from_nanos(splitmix_mix(stream) % jitter_ns)
+        let policy = scan_core::backoff::Backoff {
+            base: self.cfg.backoff_base,
+            jitter: self.cfg.backoff_jitter,
+            seed: self.cfg.jitter_seed,
+        };
+        policy.delay(dispatch, attempt, matches!(kind, ScanKind::Max) as u64)
     }
 
     /// Slice one group's scanned output back into per-member results,
@@ -803,14 +816,6 @@ fn verify_exclusive(kind: ScanKind, input: &[u64], out: &[u64]) -> bool {
         acc = kind.combine(acc, *x);
     }
     true
-}
-
-/// SplitMix64 finalizer — the jitter's deterministic entropy.
-fn splitmix_mix(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -1109,6 +1114,50 @@ mod tests {
     fn svc_backoff(cfg: &ServiceConfig, dispatch: u64, attempt: u32) -> Duration {
         let svc = ScanService::new(cfg.clone());
         svc.backoff(dispatch, attempt, ScanKind::Sum)
+    }
+
+    /// Exact-value pin: the shared `scan_core::backoff` module must
+    /// reproduce the formula this file carried inline before the
+    /// extraction, nanosecond for nanosecond.
+    #[test]
+    fn backoff_matches_the_legacy_inline_formula_exactly() {
+        fn legacy_mix(mut z: u64) -> u64 {
+            z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        fn legacy(cfg: &ServiceConfig, dispatch: u64, attempt: u32, kind: ScanKind) -> Duration {
+            let exp = cfg
+                .backoff_base
+                .saturating_mul(1u32 << (attempt - 1).min(10));
+            let jitter_ns = cfg.backoff_jitter.as_nanos() as u64;
+            if jitter_ns == 0 {
+                return exp;
+            }
+            let stream = cfg
+                .jitter_seed
+                .wrapping_add(dispatch.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(u64::from(attempt) << 1)
+                .wrapping_add(matches!(kind, ScanKind::Max) as u64);
+            exp + Duration::from_nanos(legacy_mix(stream) % jitter_ns)
+        }
+        let cfg = ServiceConfig::default();
+        let svc = ScanService::new(cfg.clone());
+        for dispatch in [0u64, 1, 7, 4096] {
+            for attempt in 1..=4u32 {
+                for kind in [ScanKind::Sum, ScanKind::Max] {
+                    assert_eq!(
+                        svc.backoff(dispatch, attempt, kind),
+                        legacy(&cfg, dispatch, attempt, kind)
+                    );
+                }
+            }
+        }
+        // The zero-jitter early return too.
+        let cfg = quick();
+        let svc = ScanService::new(cfg.clone());
+        assert_eq!(svc.backoff(3, 2, ScanKind::Sum), legacy(&cfg, 3, 2, ScanKind::Sum));
     }
 
     #[test]

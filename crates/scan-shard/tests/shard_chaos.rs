@@ -1,0 +1,336 @@
+//! Deterministic chaos suite for the sharded executor.
+//!
+//! Every scenario is driven by a seeded [`ChaosPlan`] delivered
+//! through the shard job stream ([`ChaosPlan::shard_event_for`]), so
+//! the whole failure/recovery schedule replays identically: which job
+//! is killed, delayed, or corrupted depends only on the plan's periods
+//! and the executor's job counter.
+
+use std::time::Duration;
+
+use scan_core::{Max, Segments, Sum};
+use scan_fault::{BreakerConfig, BreakerState, ChaosPlan};
+use scan_shard::{
+    LossCause, RecoveryPolicy, ScanKind, ShardConfig, ShardError, ShardedExecutor,
+};
+
+fn data(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| (i * 131 + 17) % 509).collect()
+}
+
+fn cfg(shards: usize, chaos: ChaosPlan) -> ShardConfig {
+    ShardConfig {
+        shards,
+        chaos: Some(chaos),
+        ..ShardConfig::default()
+    }
+}
+
+/// A shard killed mid-scan under `Recover`: its ranges are re-executed
+/// on survivors (or inline once everyone is dead) and the output stays
+/// bit-equal to the single-pool kernel.
+#[test]
+fn killed_shard_recovers_bit_equal() {
+    let plan = ChaosPlan {
+        shard_kill_every: 2,
+        ..ChaosPlan::quiet(7)
+    };
+    let ex = ShardedExecutor::new(cfg(3, plan));
+    let a = data(1000);
+    let want = scan_core::scan::<Sum, _>(&a);
+    assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), want);
+    let h = ex.health();
+    assert!(h.losses >= 1, "kill must register as a loss: {h:?}");
+    assert!(
+        h.recoveries + h.inline_rescues >= 1,
+        "lost ranges must be re-executed: {h:?}"
+    );
+    assert!(
+        h.shards.iter().any(|s| s.disconnects >= 1),
+        "a killed shard is observed as disconnected: {h:?}"
+    );
+    // Later runs keep serving correct answers no matter how many
+    // shards the plan has taken down by now.
+    assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), want);
+}
+
+/// A stalled shard trips the watchdog, is declared lost, and its range
+/// is computed by the trusted inline path.
+#[test]
+fn stalled_shard_trips_watchdog() {
+    let plan = ChaosPlan {
+        shard_delay_every: 1,
+        delay_us: 100_000,
+        ..ChaosPlan::quiet(11)
+    };
+    let ex = ShardedExecutor::new(ShardConfig {
+        watchdog: Duration::from_millis(10),
+        reexec_retries: 1,
+        ..cfg(2, plan)
+    });
+    let a = data(300);
+    assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), scan_core::scan::<Sum, _>(&a));
+    let h = ex.health();
+    assert!(
+        h.shards.iter().any(|s| s.watchdog_losses >= 1),
+        "stall must be seen as a watchdog loss: {h:?}"
+    );
+    assert!(h.inline_rescues >= 1, "{h:?}");
+}
+
+/// A lying shard (corrupted carry, then corrupted output) is caught by
+/// the verification pass, fixed in place, quarantined by its breaker,
+/// and readmitted through a clean probation probe. Output is bit-equal
+/// on every run throughout.
+#[test]
+fn lying_shard_is_quarantined_then_probed_back() {
+    let plan = ChaosPlan {
+        carry_corrupt_every: 5,
+        ..ChaosPlan::quiet(13)
+    };
+    let ex = ShardedExecutor::new(ShardConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            base_quarantine: 2,
+            jitter: 0,
+            ..BreakerConfig::default()
+        },
+        ..cfg(2, plan)
+    });
+    let a = data(200);
+    let want = scan_core::scan::<Sum, _>(&a);
+    let seg_heads: Vec<bool> = (0..a.len()).map(|i| i % 23 == 4).collect();
+    let seg_want = scan_core::seg_scan::<Sum, u64>(&a, &Segments::from_flags(seg_heads.clone()));
+
+    // Readmission = a shard observed Open at one snapshot and Closed
+    // at a later one, having served at least one probation probe in
+    // between.
+    let mut was_open = [false; 2];
+    let mut saw_quarantine = false;
+    let mut saw_readmission = false;
+    for run in 0..30 {
+        // Alternate flat and segmented so both kernels face the liar.
+        if run % 2 == 0 {
+            assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), want, "run {run}");
+        } else {
+            assert_eq!(
+                ex.seg_scan(ScanKind::Sum, &a, &seg_heads).unwrap(),
+                seg_want,
+                "run {run}"
+            );
+        }
+        let h = ex.health();
+        for (i, s) in h.shards.iter().enumerate() {
+            match s.state {
+                BreakerState::Open { .. } => {
+                    saw_quarantine = true;
+                    was_open[i] = true;
+                }
+                BreakerState::Closed => {
+                    if was_open[i] && s.probes >= 1 {
+                        saw_readmission = true;
+                    }
+                }
+            }
+        }
+        if saw_quarantine && saw_readmission {
+            break;
+        }
+    }
+    let h = ex.health();
+    assert!(saw_quarantine, "a lie must open the liar's breaker: {h:?}");
+    assert!(
+        saw_readmission,
+        "a clean probe must reclose the breaker: {h:?}"
+    );
+    assert!(h.shards.iter().map(|s| s.lies).sum::<u64>() >= 1, "{h:?}");
+    assert!(
+        h.inline_rescues >= 1,
+        "lie fixups are counted as inline rescues: {h:?}"
+    );
+    assert!(
+        h.shards.iter().all(|s| s.alive),
+        "lying shards are quarantined, not killed: {h:?}"
+    );
+}
+
+/// When the plan kills every shard, the executor finishes the first
+/// run inline and then degrades to the single-pool kernels — still
+/// bit-equal, with the degradation visible in the health snapshot.
+#[test]
+fn total_shard_loss_degrades_gracefully() {
+    let plan = ChaosPlan {
+        shard_kill_every: 1,
+        ..ChaosPlan::quiet(17)
+    };
+    let ex = ShardedExecutor::new(cfg(2, plan));
+    let a = data(400);
+    let want = scan_core::scan::<Max, _>(&a);
+    assert_eq!(ex.scan(ScanKind::Max, &a).unwrap(), want);
+    assert_eq!(ex.scan(ScanKind::Max, &a).unwrap(), want);
+    let h = ex.health();
+    assert!(h.shards.iter().all(|s| !s.alive), "{h:?}");
+    assert!(h.inline_rescues >= 2, "{h:?}");
+    assert!(h.degraded_runs >= 1, "{h:?}");
+    assert_eq!(h.runs, 2);
+}
+
+/// Under `RecoveryPolicy::Fail` the first loss surfaces as a typed
+/// error instead of being recovered.
+#[test]
+fn fail_policy_surfaces_typed_losses() {
+    // Killed shard → channel closes → Disconnected.
+    let ex = ShardedExecutor::new(ShardConfig {
+        policy: RecoveryPolicy::Fail,
+        ..cfg(
+            2,
+            ChaosPlan {
+                shard_kill_every: 1,
+                ..ChaosPlan::quiet(19)
+            },
+        )
+    });
+    let a = data(100);
+    assert_eq!(
+        ex.scan(ScanKind::Sum, &a),
+        Err(ShardError::ShardLost {
+            shard: 0,
+            cause: LossCause::Disconnected,
+        })
+    );
+
+    // Stalled shard → Watchdog.
+    let ex = ShardedExecutor::new(ShardConfig {
+        policy: RecoveryPolicy::Fail,
+        watchdog: Duration::from_millis(10),
+        ..cfg(
+            2,
+            ChaosPlan {
+                shard_delay_every: 1,
+                delay_us: 100_000,
+                ..ChaosPlan::quiet(19)
+            },
+        )
+    });
+    assert_eq!(
+        ex.scan(ScanKind::Sum, &a),
+        Err(ShardError::ShardLost {
+            shard: 0,
+            cause: LossCause::Watchdog,
+        })
+    );
+
+    // Lying shard → Lied (caught by the verify pass).
+    let ex = ShardedExecutor::new(ShardConfig {
+        policy: RecoveryPolicy::Fail,
+        ..cfg(
+            2,
+            ChaosPlan {
+                carry_corrupt_every: 1,
+                ..ChaosPlan::quiet(19)
+            },
+        )
+    });
+    assert_eq!(
+        ex.scan(ScanKind::Sum, &a),
+        Err(ShardError::ShardLost {
+            shard: 0,
+            cause: LossCause::Lied,
+        })
+    );
+}
+
+/// Below the `min_live` floor the run degrades under `Recover` and
+/// fails typed under `Fail`.
+#[test]
+fn min_live_floor_controls_degradation() {
+    let a = data(50);
+    let want = scan_core::scan::<Sum, _>(&a);
+
+    let ex = ShardedExecutor::new(ShardConfig {
+        shards: 1,
+        min_live: 2,
+        ..ShardConfig::default()
+    });
+    assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), want);
+    let h = ex.health();
+    assert_eq!(h.degraded_runs, 1, "{h:?}");
+
+    let ex = ShardedExecutor::new(ShardConfig {
+        shards: 1,
+        min_live: 2,
+        policy: RecoveryPolicy::Fail,
+        ..ShardConfig::default()
+    });
+    assert_eq!(
+        ex.scan(ScanKind::Sum, &a),
+        Err(ShardError::Degraded { live: 1, need: 2 })
+    );
+}
+
+/// The chaos schedule is a pure function of the plan and the job
+/// counter: two executors with identical configs observe identical
+/// histories.
+#[test]
+fn chaos_schedule_replays_identically() {
+    let mk = || {
+        ShardedExecutor::new(ShardConfig {
+            watchdog: Duration::from_millis(25),
+            ..cfg(
+                3,
+                ChaosPlan {
+                    shard_kill_every: 7,
+                    carry_corrupt_every: 5,
+                    shard_delay_every: 3,
+                    delay_us: 1,
+                    ..ChaosPlan::quiet(23)
+                },
+            )
+        })
+    };
+    let (ex1, ex2) = (mk(), mk());
+    let a = data(600);
+    for _ in 0..4 {
+        let r1 = ex1.scan(ScanKind::Sum, &a);
+        let r2 = ex2.scan(ScanKind::Sum, &a);
+        assert_eq!(r1, r2);
+        assert_eq!(r1.unwrap(), scan_core::scan::<Sum, _>(&a));
+    }
+    let (h1, h2) = (ex1.health(), ex2.health());
+    assert_eq!(h1, h2, "replay must produce identical health");
+    assert!(h1.losses >= 1);
+}
+
+/// Breaker states reported by `health()` are the real gate: a
+/// quarantined shard shows `Open` and is skipped until its clock
+/// comes up.
+#[test]
+fn health_reports_breaker_state() {
+    let ex = ShardedExecutor::new(ShardConfig {
+        breaker: BreakerConfig {
+            failure_threshold: 1,
+            base_quarantine: 1000,
+            jitter: 0,
+            ..BreakerConfig::default()
+        },
+        ..cfg(
+            3,
+            ChaosPlan {
+                carry_corrupt_every: 2,
+                ..ChaosPlan::quiet(29)
+            },
+        )
+    });
+    let a = data(90);
+    let want = scan_core::scan::<Sum, _>(&a);
+    for _ in 0..4 {
+        assert_eq!(ex.scan(ScanKind::Sum, &a).unwrap(), want);
+    }
+    let h = ex.health();
+    assert!(h.quarantined() >= 1, "{h:?}");
+    assert!(h
+        .shards
+        .iter()
+        .any(|s| matches!(s.state, BreakerState::Open { .. }) && s.skipped >= 1),
+        "{h:?}");
+}

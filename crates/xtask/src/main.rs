@@ -83,8 +83,12 @@ const UNSAFE_ALLOWLIST: [&str; 6] = [
     "crates/scan-core/src/lookback.rs",
 ];
 
-/// The one file allowed to spawn threads directly.
-const SPAWN_ALLOWLIST: &str = "crates/scan-core/src/pool.rs";
+/// The files allowed to spawn threads directly: the worker pool and
+/// the shard supervisors (which each own a worker pool).
+const SPAWN_ALLOWLIST: [&str; 2] = [
+    "crates/scan-core/src/pool.rs",
+    "crates/scan-shard/src/pool.rs",
+];
 
 /// The one file allowed to read the wall clock.
 const CLOCK_ALLOWLIST: &str = "crates/scan-core/src/deadline.rs";
@@ -523,7 +527,7 @@ fn check_file(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
     }
     let in_test = lx.test_mod_lines();
 
-    if rel != SPAWN_ALLOWLIST {
+    if !SPAWN_ALLOWLIST.contains(&rel) {
         for pat in ["thread::spawn", "thread::Builder"] {
             for &l in &lx.lines_with_path(pat) {
                 if !in_test[l] {
@@ -531,7 +535,10 @@ fn check_file(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
                         rule: "no-raw-spawn",
                         path: rel.to_string(),
                         line: l + 1,
-                        msg: format!("`{pat}` outside {SPAWN_ALLOWLIST}: use the worker pool"),
+                        msg: format!(
+                            "`{pat}` outside {}: use the worker pool",
+                            SPAWN_ALLOWLIST.join(", ")
+                        ),
                     });
                 }
             }
@@ -844,6 +851,25 @@ fn after() {}
             "#![forbid(unsafe_code)]\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { std::thread::spawn(|| {}).join().unwrap(); }\n}\n",
         );
         assert_eq!(t.lint(), vec![]);
+    }
+
+    #[test]
+    fn shard_pool_is_the_only_new_spawn_site() {
+        // The shard supervisors may spawn (each owns a worker pool);
+        // the rest of the scan-shard crate — the executor in
+        // particular — must go through them.
+        let t = Tree::new();
+        t.write(
+            "crates/scan-shard/src/pool.rs",
+            "pub fn f() { thread::Builder::new(); }\n",
+        );
+        t.write(
+            "crates/scan-shard/src/executor.rs",
+            "pub fn f() { std::thread::spawn(|| {}); }\n",
+        );
+        let vs = t.lint();
+        assert_eq!(rules(&vs), vec!["no-raw-spawn"]);
+        assert_eq!(vs[0].path, "crates/scan-shard/src/executor.rs");
     }
 
     #[test]

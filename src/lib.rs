@@ -14,6 +14,11 @@
 //!   the scan model) with measured step complexity;
 //! - [`circuit`] (`scan-circuit`) — the cycle-accurate bit-pipelined
 //!   tree scan circuit and the Table 2/4 cost models;
+//! - [`shard`] (`scan-shard`) — sharded execution: one scan fanned
+//!   across independent worker pools with the §3 tree combine of
+//!   per-shard totals, shard-loss detection and recovery
+//!   (re-execution on survivors, breaker quarantine, probe
+//!   readmission), and graceful degradation;
 //! - [`service`] (`scan-service`) — the multi-tenant serving layer: a
 //!   coalescing front door that batches many small concurrent scan
 //!   requests into one segmented-scan mega-batch, with admission
@@ -47,3 +52,4 @@ pub use scan_circuit as circuit;
 pub use scan_core as core;
 pub use scan_pram as pram;
 pub use scan_service as service;
+pub use scan_shard as shard;
