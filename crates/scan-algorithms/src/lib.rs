@@ -31,7 +31,6 @@
 //! | appendix | binary addition & polynomial evaluation as scans | [`numeric`] |
 
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

@@ -32,7 +32,6 @@
 //!   scan through the simulated hardware, so the whole §3.4 simulation
 //!   layer can run on the circuit.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

@@ -35,7 +35,7 @@ use crate::parallel::{
     block_range, check, default_schedule, engine_width, go_parallel, plan_blocks, run_blocks,
     scan_span, try_run_blocks, Mode, Schedule, SendPtr, CANCEL_STRIDE,
 };
-use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::MinCell;
 
 /// Maximum bucket count a single `multi_split` accepts (the digit
 /// cache is `u16`, so bucket ids must fit 16 bits).
@@ -111,7 +111,7 @@ where
 
     // Phase 1: per-block histograms + digit cache, one read of `src`.
     // First out-of-range bucket id seen by any block (MAX = none).
-    let oob = AtomicUsize::new(usize::MAX);
+    let oob = MinCell::new(usize::MAX);
     {
         let dig = SendPtr::new(scratch.digits.as_mut_ptr());
         let cnt = SendPtr::new(scratch.counts.as_mut_ptr());
@@ -125,7 +125,7 @@ where
                 for (i, &x) in src[lo..hi].iter().enumerate() {
                     let k = key(x);
                     if k >= nbuckets {
-                        oob.fetch_min(k, Ordering::Relaxed);
+                        oob.lower(k);
                         break 'chunks;
                     }
                     local[k] += 1;
@@ -149,9 +149,10 @@ where
             run_blocks(sched, nblocks, hist);
         }
     }
-    let bad = oob.load(Ordering::Relaxed);
+    let bad = oob.get();
     if bad != usize::MAX {
         if !fallible {
+            // xtask-allow: panic-reachability dead on try_ entries: fallible calls take the Err return below, only the infallible wrappers reach this documented panic
             panic!("multi_split: key mapped to bucket {bad}, but only {nbuckets} buckets exist");
         }
         return Err(Error::IndexOutOfBounds {

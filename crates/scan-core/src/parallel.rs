@@ -52,7 +52,7 @@ use crate::deadline::ScanDeadline;
 use crate::error::ExecError;
 use crate::pool;
 use crate::simd::SimdTile;
-use crate::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use crate::sync::ConfigCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Inputs shorter than this are scanned sequentially; the extra pass
@@ -73,18 +73,18 @@ const MIN_BLOCK: usize = PAR_THRESHOLD / 4;
 /// uninitialized writes, `set_len`, cross-thread handoff — runs on
 /// Miri-sized inputs. [`MIN_BLOCK`] scales with it (override / 4) so
 /// the block plan keeps its production shape.
-static PAR_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static PAR_OVERRIDE: ConfigCell = ConfigCell::new(0);
 
 /// Set the [`PAR_THRESHOLD`] override (`0` restores the default).
 /// Process-wide; for sanitizer/test profiles only.
 #[doc(hidden)]
 pub fn set_par_threshold_override(n: usize) {
-    PAR_OVERRIDE.store(n, Ordering::Relaxed);
+    PAR_OVERRIDE.set(n);
 }
 
 /// Effective parallel threshold (the override, if set).
 pub(crate) fn par_threshold() -> usize {
-    match PAR_OVERRIDE.load(Ordering::Relaxed) {
+    match PAR_OVERRIDE.get() {
         0 => PAR_THRESHOLD,
         n => n,
     }
@@ -92,7 +92,7 @@ pub(crate) fn par_threshold() -> usize {
 
 /// Effective minimum block size, scaled to the active threshold.
 fn min_block() -> usize {
-    match PAR_OVERRIDE.load(Ordering::Relaxed) {
+    match PAR_OVERRIDE.get() {
         0 => MIN_BLOCK,
         n => (n / 4).max(1),
     }
@@ -124,7 +124,7 @@ pub enum Schedule {
     Lookback,
 }
 
-static DEFAULT_SCHEDULE: AtomicU8 = AtomicU8::new(0);
+static DEFAULT_SCHEDULE: ConfigCell = ConfigCell::new(0);
 
 /// Set the schedule used by every entry point that does not take an
 /// explicit one (process-wide). Intended for benchmarks and tests that
@@ -137,12 +137,12 @@ pub fn set_default_schedule(s: Schedule) {
         Schedule::Sequential => 2,
         Schedule::Lookback => 3,
     };
-    DEFAULT_SCHEDULE.store(v, Ordering::Relaxed);
+    DEFAULT_SCHEDULE.set(v);
 }
 
 /// The schedule currently used by the implicit-schedule entry points.
 pub fn default_schedule() -> Schedule {
-    match DEFAULT_SCHEDULE.load(Ordering::Relaxed) {
+    match DEFAULT_SCHEDULE.get() {
         1 => Schedule::Spawn,
         2 => Schedule::Sequential,
         3 => Schedule::Lookback,
@@ -1832,5 +1832,5 @@ mod tests {
         assert!(matches!(got, Err(ExecError::WorkerLost { .. })));
     }
 
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 }

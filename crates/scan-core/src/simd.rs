@@ -38,7 +38,7 @@
 //! tile getters return `None` and the generic engine runs its
 //! original scalar loops untouched.
 
-use crate::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::ConfigCell;
 
 /// Elements staged per tile by the engine's vector path. Sized so the
 /// value scratch (16 KiB at 8 bytes/element) stays L1-resident while
@@ -64,17 +64,17 @@ impl Isa {
     }
 }
 
-const ISA_UNKNOWN: u8 = 0;
-const ISA_SCALAR: u8 = 1;
-const ISA_AVX2: u8 = 2;
+const ISA_UNKNOWN: usize = 0;
+const ISA_SCALAR: usize = 1;
+const ISA_AVX2: usize = 2;
 
 /// Cached dispatch decision; 0 = not yet detected.
-static ACTIVE: AtomicU8 = AtomicU8::new(ISA_UNKNOWN);
+static ACTIVE: ConfigCell = ConfigCell::new(ISA_UNKNOWN);
 
 /// The ISA the tile kernels will use, detecting and caching it on
 /// first call. Honors `SCAN_CORE_SIMD=0`/`off` (scalar pin).
 pub fn active_isa() -> Isa {
-    match ACTIVE.load(Ordering::Relaxed) {
+    match ACTIVE.get() {
         ISA_SCALAR => Isa::Scalar,
         ISA_AVX2 => Isa::Avx2,
         _ => {
@@ -83,7 +83,7 @@ pub fn active_isa() -> Isa {
                 Isa::Scalar => ISA_SCALAR,
                 Isa::Avx2 => ISA_AVX2,
             };
-            ACTIVE.store(enc, Ordering::Relaxed);
+            ACTIVE.set(enc);
             isa
         }
     }
@@ -100,7 +100,7 @@ pub fn set_isa_override(isa: Option<Isa>) {
         Some(Isa::Scalar) => ISA_SCALAR,
         Some(Isa::Avx2) => ISA_AVX2,
     };
-    ACTIVE.store(enc, Ordering::Relaxed);
+    ACTIVE.set(enc);
 }
 
 fn detect() -> Isa {

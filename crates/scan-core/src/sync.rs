@@ -49,3 +49,57 @@ pub mod atomic {
         AtomicBool, AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering,
     };
 }
+
+use self::atomic::{AtomicUsize, Ordering};
+
+/// A process-wide configuration cell: a relaxed atomic word for
+/// settings written by test/bench knobs and read by the engines
+/// (parallel threshold override, default schedule, cached ISA).
+///
+/// Publication is `Relaxed` on purpose — a config value carries no
+/// happens-before obligation to other memory; readers only need *some*
+/// recent value, and every consumer re-reads per call. Keeping the
+/// cell here (rather than ad-hoc statics in each engine module) keeps
+/// the workspace atomics-confinement invariant: all atomics live
+/// behind the audited sync modules, where the loom swap reaches them.
+pub struct ConfigCell(AtomicUsize);
+
+impl ConfigCell {
+    /// A cell holding `v`.
+    pub const fn new(v: usize) -> Self {
+        ConfigCell(AtomicUsize::new(v))
+    }
+
+    /// Current value.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Replace the value.
+    pub fn set(&self, v: usize) {
+        self.0.store(v, Ordering::Relaxed)
+    }
+}
+
+/// A shared running-minimum cell, used by parallel kernels to latch
+/// the first out-of-range index any block observes (`usize::MAX` =
+/// none). `Relaxed` suffices: the blocks' writes are joined before the
+/// value is read, so the join edge carries the ordering.
+pub struct MinCell(AtomicUsize);
+
+impl MinCell {
+    /// A cell holding `v`.
+    pub const fn new(v: usize) -> Self {
+        MinCell(AtomicUsize::new(v))
+    }
+
+    /// Lower the cell to `min(current, v)`.
+    pub fn lower(&self, v: usize) {
+        self.0.fetch_min(v, Ordering::Relaxed);
+    }
+
+    /// Current minimum.
+    pub fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed)
+    }
+}

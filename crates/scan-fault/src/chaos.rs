@@ -22,6 +22,7 @@
 //! API boundary.
 
 use std::cell::Cell;
+// xtask-allow: atomics-confinement cross-thread call counter local to the chaos harness, never swapped under loom
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -219,8 +220,10 @@ pub fn chaos_op<T, F>(plan: ChaosPlan, f: F) -> impl Fn(T, T) -> T + Sync
 where
     F: Fn(T, T) -> T + Sync,
 {
+    // xtask-allow: atomics-confinement fault-injection probe shared across workers; deliberately outside the audited sync modules
     let calls = AtomicU64::new(0);
     move |x, y| {
+        // xtask-allow: atomics-confinement relaxed count of operator applications drives the injection schedule only
         let call = calls.fetch_add(1, Ordering::Relaxed) + 1;
         match plan.event_for(call) {
             ChaosEvent::Panic => panic!("chaos: injected operator panic at application {call}"),

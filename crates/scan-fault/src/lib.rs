@@ -34,7 +34,6 @@
 //!    result or a typed error: never a hang, never a panic across the
 //!    API boundary.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

@@ -26,7 +26,6 @@
 //! charging steps according to the model — the same code yields both
 //! results and measured step complexities.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

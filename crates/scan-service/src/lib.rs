@@ -40,7 +40,6 @@
 //! crate stays inside the repo's spawn/clock confinement rules and
 //! inherits the worker pool's panic containment.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
@@ -51,6 +50,7 @@ pub mod queue;
 pub mod request;
 pub mod service;
 pub mod sharded;
+pub mod sync;
 
 pub use backend::{BatchBackend, PoolBackend, ScanKind};
 pub use error::{Result, ServiceError};

@@ -40,7 +40,6 @@
 //! response, or buffers unboundedly.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::sync::Arc;
 use std::time::Duration;
@@ -52,6 +51,7 @@ use crate::backend::{BatchBackend, PoolBackend, ScanKind};
 use crate::error::{Result, ServiceError};
 use crate::health::{CoalescerHealth, ServiceHealth, ServiceMode, TenantCounters};
 use crate::queue::FairQueue;
+use crate::sync::SlotFlag;
 use crate::request::{RequestOp, ScanRequest, TenantId};
 
 /// Upper bound on a single condvar park; a safety net under the
@@ -156,10 +156,10 @@ struct Entry {
     window: ScanDeadline,
     /// Set (under the state lock) once a leader claimed this entry;
     /// from then on a result is guaranteed to arrive in `slot`.
-    taken: AtomicBool,
+    taken: SlotFlag,
     /// Set (under the state lock) when the submitter gave up while
     /// still queued; leaders drop such entries for free.
-    abandoned: AtomicBool,
+    abandoned: SlotFlag,
     /// Dispatch-clock reading at enqueue, for fairness accounting.
     enqueued_dispatch: u64,
     /// The delivered result. Filled exactly once, by a leader.
@@ -347,8 +347,8 @@ impl<B: BatchBackend> ScanService<B> {
                 op: req.op,
                 deadline: req.deadline,
                 window: ScanDeadline::after(self.cfg.window),
-                taken: AtomicBool::new(false),
-                abandoned: AtomicBool::new(false),
+                taken: SlotFlag::new(),
+                abandoned: SlotFlag::new(),
                 enqueued_dispatch: st.dispatches,
                 slot: Mutex::new(None),
             });
@@ -384,12 +384,12 @@ impl<B: BatchBackend> ScanService<B> {
                 return res;
             }
 
-            if !entry.taken.load(Ordering::Relaxed) {
+            if !entry.taken.is_raised() {
                 // Still queued: honor our own deadline without
                 // touching anyone else's batch.
                 if let Some(d) = &entry.deadline {
                     if let Err(e) = d.check() {
-                        entry.abandoned.store(true, Ordering::Relaxed);
+                        entry.abandoned.raise();
                         st.abandoned_in_queue += 1;
                         st.expired_in_queue += 1;
                         st.failed += 1;
@@ -406,7 +406,7 @@ impl<B: BatchBackend> ScanService<B> {
                 }
             }
 
-            let park = if entry.taken.load(Ordering::Relaxed) {
+            let park = if entry.taken.is_raised() {
                 // In flight; the leader notifies on completion, the
                 // tick is only a safety net.
                 WAIT_TICK
@@ -436,7 +436,7 @@ impl<B: BatchBackend> ScanService<B> {
                 ..
             } = &mut *st;
             queue.take_batch(self.cfg.batch_capacity, |e: &Arc<Entry>| {
-                if e.abandoned.load(Ordering::Relaxed) {
+                if e.abandoned.is_raised() {
                     *abandoned_in_queue = abandoned_in_queue.saturating_sub(1);
                     false
                 } else {
@@ -453,7 +453,7 @@ impl<B: BatchBackend> ScanService<B> {
         let dispatch = st.dispatches;
         st.dispatches += 1;
         for e in &batch {
-            e.taken.store(true, Ordering::Relaxed);
+            e.taken.raise();
             let waited = dispatch.saturating_sub(e.enqueued_dispatch);
             let t = st.tenants.entry(e.tenant).or_default();
             t.max_wait_dispatches = t.max_wait_dispatches.max(waited);
@@ -821,7 +821,7 @@ fn verify_exclusive(kind: ScanKind, input: &[u64], out: &[u64]) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     /// A fast config for single-submitter tests: zero window so a lone
     /// submitter leads immediately.

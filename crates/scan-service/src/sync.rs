@@ -1,0 +1,41 @@
+//! The service crate's audited sync module.
+//!
+//! The workspace confines atomic types to the sync modules the
+//! invariant linter knows about (`cargo xtask lint`, rule R8), so the
+//! one atomic the service layer needs — the per-entry slot flag — is
+//! defined here rather than inline in `service.rs`.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A once-ish boolean flag on a queue entry (`taken`, `abandoned`).
+///
+/// Both flags are written under the service state lock and read either
+/// under it or on a submitter's own entry, so `Relaxed` suffices: the
+/// lock (or the entry's result slot mutex) carries the happens-before
+/// edge; the atomic only makes the lock-free *reads* on the wait path
+/// race-free.
+#[derive(Debug)]
+pub struct SlotFlag(AtomicBool);
+
+impl SlotFlag {
+    /// A cleared flag.
+    pub fn new() -> Self {
+        SlotFlag(AtomicBool::new(false))
+    }
+
+    /// Raise the flag.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::Relaxed)
+    }
+
+    /// Is the flag raised?
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for SlotFlag {
+    fn default() -> Self {
+        SlotFlag::new()
+    }
+}

@@ -6,6 +6,37 @@
 //! seeded with. The shard counts involved are tiny, but using the tree
 //! keeps the combine associative-only — the same property the paper
 //! demands of the operator — and gives it the usual O(log s) depth.
+//!
+//! The segmented *pair* operator the shards and the executor both fold
+//! with lives here too: it is pure scan vocabulary, shared by both
+//! sides of the channel boundary, whereas `pool` is the shard-private
+//! supervisor machinery the executor must only reach via messages
+//! (`cargo xtask lint` R9).
+
+use crate::executor::ScanKind;
+
+/// The segmented pair operator under `kind`: the flag records "a
+/// segment head occurred in this span", which resets the value (paper
+/// §2.3). With no heads present it degenerates to the plain operator,
+/// so the flat and segmented kernels share one code path.
+pub(crate) fn pair_combine(kind: ScanKind, a: (u64, bool), b: (u64, bool)) -> (u64, bool) {
+    if b.1 {
+        b
+    } else {
+        (kind.combine(a.0, b.0), a.1)
+    }
+}
+
+/// Element `g` as a pair: its value and whether it begins a segment.
+/// Element 0 always begins a segment (crate-wide convention); flat
+/// scans have no heads at all.
+pub(crate) fn load_pair(data: &[u64], heads: Option<&[bool]>, g: usize) -> (u64, bool) {
+    let head = match heads {
+        Some(h) => h[g] || g == 0,
+        None => false,
+    };
+    (data[g], head)
+}
 
 /// Exclusive scan of `totals` under `comb` (associative, with
 /// `identity`), via the balanced-tree upsweep/downsweep.

@@ -47,7 +47,8 @@ use scan_fault::{Breaker, BreakerConfig, ChaosEvent, ChaosPlan, Gate};
 use crate::combine::exclusive_combine;
 use crate::error::{LossCause, ShardError};
 use crate::health::{ShardHealth, ShardStatus};
-use crate::pool::{load_pair, pair_combine, Job, Output, Phase, Reply, Shard};
+use crate::combine::{load_pair, pair_combine};
+use crate::pool::{Job, Output, Phase, Reply, Shard};
 
 /// Lock a mutex, ignoring poisoning.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {

@@ -23,7 +23,6 @@
 //! [`RecoveryPolicy::Fail`], the first loss surfaces as a typed
 //! [`ShardError`] instead.
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 

@@ -26,35 +26,13 @@ use scan_core::pool::WorkerPool;
 use scan_core::{ExecError, ScanDeadline};
 use scan_fault::ChaosEvent;
 
+use crate::combine::{load_pair, pair_combine};
 use crate::executor::ScanKind;
 
 /// Lock a mutex, ignoring poisoning (the partial/output slots hold
 /// plain data; a poisoned lock still guards a consistent value).
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// The segmented pair operator under `kind`: the flag records "a
-/// segment head occurred in this span", which resets the value (paper
-/// §2.3). With no heads present it degenerates to the plain operator,
-/// so the flat and segmented kernels share one code path.
-pub(crate) fn pair_combine(kind: ScanKind, a: (u64, bool), b: (u64, bool)) -> (u64, bool) {
-    if b.1 {
-        b
-    } else {
-        (kind.combine(a.0, b.0), a.1)
-    }
-}
-
-/// Element `g` as a pair: its value and whether it begins a segment.
-/// Element 0 always begins a segment (crate-wide convention); flat
-/// scans have no heads at all.
-pub(crate) fn load_pair(data: &[u64], heads: Option<&[bool]>, g: usize) -> (u64, bool) {
-    let head = match heads {
-        Some(h) => h[g] || g == 0,
-        None => false,
-    };
-    (data[g], head)
 }
 
 /// Which half of the two-round sharded scan a job runs.

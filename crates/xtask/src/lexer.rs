@@ -1,0 +1,393 @@
+//! The masking lexer: the foundation every rule sees source through.
+//!
+//! A file is split into per-line *code* (comments and literal contents
+//! blanked with spaces, so columns are preserved) and per-line
+//! *comment text*. A pattern like `thread::spawn` inside a doc comment
+//! or a string therefore never triggers a finding — and conversely,
+//! findings are real tokens at real columns.
+
+use std::fmt;
+
+/// A source file split into per-line *code* (comments and literal
+/// contents blanked with spaces) and per-line *comment text*.
+pub struct Lexed {
+    /// Masked code, one entry per source line. Masking replaces each
+    /// masked character with a space, so column positions survive.
+    pub code: Vec<String>,
+    /// Comment text on each line (both `//` and `/* */` forms), with
+    /// the comment markers kept; empty if the line has no comment.
+    pub comments: Vec<String>,
+}
+
+impl Lexed {
+    /// Lex `src`, tolerating unterminated constructs (best effort —
+    /// the compiler is the authority on malformed input).
+    pub fn new(src: &str) -> Self {
+        let mut code = vec![String::new()];
+        let mut comments = vec![String::new()];
+        let b: Vec<char> = src.chars().collect();
+        let n = b.len();
+        let mut i = 0;
+
+        macro_rules! newline {
+            () => {{
+                code.push(String::new());
+                comments.push(String::new());
+            }};
+        }
+        macro_rules! code_push {
+            ($c:expr) => {{
+                let c = $c;
+                if c == '\n' {
+                    newline!();
+                } else {
+                    code.last_mut().expect("nonempty").push(c);
+                }
+            }};
+        }
+
+        while i < n {
+            let c = b[i];
+            // Line comment (incl. `///`, `//!`).
+            if c == '/' && i + 1 < n && b[i + 1] == '/' {
+                while i < n && b[i] != '\n' {
+                    comments.last_mut().expect("nonempty").push(b[i]);
+                    code.last_mut().expect("nonempty").push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            // Block comment, nested.
+            if c == '/' && i + 1 < n && b[i + 1] == '*' {
+                let mut depth = 0usize;
+                while i < n {
+                    if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                        depth += 1;
+                        comments.last_mut().expect("nonempty").push_str("/*");
+                        code.last_mut().expect("nonempty").push_str("  ");
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                        depth -= 1;
+                        comments.last_mut().expect("nonempty").push_str("*/");
+                        code.last_mut().expect("nonempty").push_str("  ");
+                        i += 2;
+                        if depth == 0 {
+                            break;
+                        }
+                    } else {
+                        if b[i] == '\n' {
+                            newline!();
+                        } else {
+                            comments.last_mut().expect("nonempty").push(b[i]);
+                            code.last_mut().expect("nonempty").push(' ');
+                        }
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            // Raw string r"..." / r#"..."# (and br variants): no escapes.
+            if (c == 'r' || c == 'b') && !prev_is_ident(&b, i) {
+                let mut j = i;
+                if b[j] == 'b' && j + 1 < n && b[j + 1] == 'r' {
+                    j += 1;
+                }
+                if b[j] == 'r' {
+                    let mut k = j + 1;
+                    let mut hashes = 0usize;
+                    while k < n && b[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && b[k] == '"' {
+                        for &d in &b[i..=k] {
+                            code_push!(if d == '\n' { '\n' } else { ' ' });
+                        }
+                        i = k + 1;
+                        // Scan to `"` followed by `hashes` hashes.
+                        while i < n {
+                            if b[i] == '"'
+                                && i + hashes < n + 1
+                                && b[i + 1..].len() >= hashes
+                                && b[i + 1..i + 1 + hashes].iter().all(|&h| h == '#')
+                            {
+                                for _ in 0..=hashes {
+                                    code.last_mut().expect("nonempty").push(' ');
+                                }
+                                i += 1 + hashes;
+                                break;
+                            }
+                            code_push!(if b[i] == '\n' { '\n' } else { ' ' });
+                            i += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
+            // Ordinary string (and b"..."): blank contents, keep quotes.
+            if c == '"' {
+                code.last_mut().expect("nonempty").push('"');
+                i += 1;
+                while i < n {
+                    if b[i] == '\\' && i + 1 < n {
+                        code.last_mut().expect("nonempty").push_str("  ");
+                        i += 2;
+                        continue;
+                    }
+                    if b[i] == '"' {
+                        code.last_mut().expect("nonempty").push('"');
+                        i += 1;
+                        break;
+                    }
+                    code_push!(if b[i] == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+                continue;
+            }
+            // Char literal vs lifetime: `'a'` is a literal, `'a` (no
+            // closing quote right after one ident char run) a lifetime.
+            if c == '\'' {
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    code.last_mut().expect("nonempty").push_str("' ");
+                    i += 2;
+                    while i < n && b[i] != '\'' {
+                        code_push!(if b[i] == '\n' { '\n' } else { ' ' });
+                        i += 1;
+                    }
+                    if i < n {
+                        code.last_mut().expect("nonempty").push('\'');
+                        i += 1;
+                    }
+                    continue;
+                }
+                if i + 2 < n && b[i + 2] == '\'' && b[i + 1] != '\'' {
+                    // 'x'
+                    code.last_mut().expect("nonempty").push_str("'  ");
+                    i += 3;
+                    continue;
+                }
+                // Lifetime (or stray quote): emit as-is.
+                code.last_mut().expect("nonempty").push('\'');
+                i += 1;
+                continue;
+            }
+            code_push!(c);
+            i += 1;
+        }
+        Lexed { code, comments }
+    }
+
+    /// 0-based `(line, col)` of every occurrence of `word` as a whole
+    /// token in the masked code.
+    pub fn word_spans(&self, word: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (l, line) in self.code.iter().enumerate() {
+            if let Some(c) = find_word(line, word) {
+                out.push((l, c));
+            }
+        }
+        out
+    }
+
+    /// 0-based `(line, col)` of every occurrence of `needle` as a
+    /// path-ish token (preceding char must not be part of an
+    /// identifier).
+    pub fn path_spans(&self, needle: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (l, line) in self.code.iter().enumerate() {
+            if let Some(c) = find_path(line, needle) {
+                out.push((l, c));
+            }
+        }
+        out
+    }
+
+    /// Lines covered by `#[cfg(test)] mod ... { }` regions (0-based,
+    /// marked true). Attribute matched by substring `test`, span by
+    /// brace counting in masked code.
+    pub fn test_mod_lines(&self) -> Vec<bool> {
+        let nl = self.code.len();
+        let mut in_test = vec![false; nl];
+        let mut l = 0;
+        while l < nl {
+            let t = self.code[l].trim();
+            let is_test_attr = t.starts_with("#[") && t.contains("cfg") && t.contains("test");
+            if !is_test_attr {
+                l += 1;
+                continue;
+            }
+            // Find the `mod` (skipping further attrs / blanks); bail to
+            // normal scanning if this attribute decorates something else.
+            let mut m = l + 1;
+            let mut found_mod = false;
+            while m < nl {
+                let tm = self.code[m].trim();
+                if tm.is_empty() || tm.starts_with("#[") {
+                    m += 1;
+                    continue;
+                }
+                found_mod = tm.starts_with("mod ") || tm.starts_with("pub mod ");
+                break;
+            }
+            if !found_mod {
+                l += 1;
+                continue;
+            }
+            // Brace-count from the mod line.
+            let mut depth = 0i64;
+            let mut opened = false;
+            let mut e = m;
+            while e < nl {
+                for ch in self.code[e].chars() {
+                    match ch {
+                        '{' => {
+                            depth += 1;
+                            opened = true;
+                        }
+                        '}' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                in_test[e] = true;
+                if opened && depth <= 0 {
+                    break;
+                }
+                e += 1;
+            }
+            for flag in in_test.iter_mut().take(e.min(nl)).skip(l) {
+                *flag = true;
+            }
+            l = e + 1;
+        }
+        in_test
+    }
+}
+
+impl fmt::Debug for Lexed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lexed({} lines)", self.code.len())
+    }
+}
+
+/// Is `c` part of an identifier?
+pub fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+fn prev_is_ident(b: &[char], i: usize) -> bool {
+    i > 0 && is_ident(b[i - 1])
+}
+
+/// First 0-based column where `line` contains `word` delimited by
+/// non-identifier chars, if any.
+pub fn find_word(line: &str, word: &str) -> Option<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let w: Vec<char> = word.chars().collect();
+    if w.is_empty() || chars.len() < w.len() {
+        return None;
+    }
+    for s in 0..=chars.len() - w.len() {
+        if chars[s..s + w.len()] == w[..]
+            && (s == 0 || !is_ident(chars[s - 1]))
+            && (s + w.len() == chars.len() || !is_ident(chars[s + w.len()]))
+        {
+            return Some(s);
+        }
+    }
+    None
+}
+
+/// First 0-based column where `line` contains `needle` (a `a::b` path
+/// fragment) not preceded by an identifier char (so `my_thread::spawn`
+/// does not match `thread::spawn`, but `std::thread::spawn` does).
+pub fn find_path(line: &str, needle: &str) -> Option<usize> {
+    let chars: Vec<char> = line.chars().collect();
+    let w: Vec<char> = needle.chars().collect();
+    if w.is_empty() || chars.len() < w.len() {
+        return None;
+    }
+    for s in 0..=chars.len() - w.len() {
+        if chars[s..s + w.len()] == w[..] && (s == 0 || !is_ident(chars[s - 1])) {
+            return Some(s);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexer_masks_line_and_block_comments() {
+        let lx = Lexed::new("let a = 1; // unsafe here\n/* unsafe\nstill */ let b = 2;\n");
+        assert!(find_word(&lx.code[0], "unsafe").is_none());
+        assert!(lx.comments[0].contains("unsafe"));
+        assert!(find_word(&lx.code[1], "unsafe").is_none());
+        assert!(find_word(&lx.code[2], "let").is_some());
+    }
+
+    #[test]
+    fn lexer_masks_string_contents() {
+        let lx = Lexed::new(r##"let s = "unsafe thread::spawn"; let r = r#"Instant::now"#;"##);
+        let joined = lx.code.join("\n");
+        assert!(!joined.contains("unsafe"));
+        assert!(!joined.contains("thread::spawn"));
+        assert!(!joined.contains("Instant::now"));
+        assert!(joined.contains("let s"));
+    }
+
+    #[test]
+    fn lexer_preserves_columns_under_masking() {
+        let lx = Lexed::new("let s = \"abc\"; let t = 1;\n");
+        // `let t` must sit at the same column as in the source.
+        assert_eq!(find_word(&lx.code[0], "t"), Some(19));
+    }
+
+    #[test]
+    fn lexer_distinguishes_lifetimes_from_char_literals() {
+        let lx = Lexed::new("fn f<'a>(x: &'a str) -> char { 'x' }\nlet c = '\\n';\n");
+        assert!(
+            lx.code[0].contains("'a"),
+            "lifetime preserved: {}",
+            lx.code[0]
+        );
+        assert!(!lx.code[0].contains("'x'"), "char literal masked");
+        assert!(!lx.code[1].contains("\\n"));
+    }
+
+    #[test]
+    fn lexer_handles_nested_block_comments() {
+        let lx = Lexed::new("/* outer /* inner */ still comment */ let x = 1;\n");
+        assert!(find_word(&lx.code[0], "let").is_some());
+        assert!(find_word(&lx.code[0], "still").is_none());
+    }
+
+    #[test]
+    fn word_and_path_boundaries() {
+        assert!(find_word("unsafe {", "unsafe").is_some());
+        assert!(find_word("unsafe_code", "unsafe").is_none());
+        assert!(find_word("an_unsafe", "unsafe").is_none());
+        assert!(find_path("std::thread::spawn(f)", "thread::spawn").is_some());
+        assert!(find_path("my_thread::spawn(f)", "thread::spawn").is_none());
+    }
+
+    #[test]
+    fn test_mod_spans_are_detected() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn helper() { std::thread::spawn(|| {}); }
+}
+fn after() {}
+";
+        let lx = Lexed::new(src);
+        let t = lx.test_mod_lines();
+        assert!(!t[0]);
+        assert!(t[1] && t[2] && t[4]);
+        assert!(!t[6]);
+    }
+}

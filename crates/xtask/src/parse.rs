@@ -1,0 +1,252 @@
+//! Token-tree parser over the masked code.
+//!
+//! The [`crate::lexer`] produces masked per-line code; this module
+//! turns it into a flat token stream with source positions plus a
+//! delimiter-matching table, which is all the item model and the call
+//! graph need. Tokens are identifiers/numbers and punctuation; the
+//! three compound puncts the signature walker cares about (`::`, `->`,
+//! `=>`) are fused so that a lone `>` reliably closes a generic-angle
+//! context. `>>` is deliberately *not* fused, so `Vec<Vec<u64>>`
+//! closes two angles.
+
+use crate::lexer::{is_ident, Lexed};
+
+/// Token classification — just enough structure for the model layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `pub`, `unsafe`, names).
+    Ident,
+    /// Numeric literal (the lexer leaves digits unmasked).
+    Num,
+    /// Punctuation, possibly fused (`::`, `->`, `=>`).
+    Punct,
+}
+
+/// One token of masked code with its 0-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text.
+    pub text: String,
+    /// 0-based source line.
+    pub line: usize,
+    /// 0-based source column (chars).
+    pub col: usize,
+}
+
+impl Tok {
+    /// Is this token the identifier `s`?
+    pub fn is(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this token the punct `s`?
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// Tokenize masked per-line code into a flat stream.
+pub fn tokenize(code: &[String]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (line_no, line) in code.iter().enumerate() {
+        let chars: Vec<char> = line.chars().collect();
+        let n = chars.len();
+        let mut i = 0;
+        while i < n {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if is_ident(c) {
+                let start = i;
+                while i < n && is_ident(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = if c.is_ascii_digit() {
+                    TokKind::Num
+                } else {
+                    TokKind::Ident
+                };
+                out.push(Tok {
+                    kind,
+                    text,
+                    line: line_no,
+                    col: start,
+                });
+                continue;
+            }
+            // Fused puncts the signature walker needs.
+            let two: Option<&str> = if i + 1 < n {
+                match (c, chars[i + 1]) {
+                    (':', ':') => Some("::"),
+                    ('-', '>') => Some("->"),
+                    ('=', '>') => Some("=>"),
+                    _ => None,
+                }
+            } else {
+                None
+            };
+            if let Some(t) = two {
+                out.push(Tok {
+                    kind: TokKind::Punct,
+                    text: t.to_string(),
+                    line: line_no,
+                    col: i,
+                });
+                i += 2;
+                continue;
+            }
+            out.push(Tok {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line: line_no,
+                col: i,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// For every `(`/`[`/`{` token, the index of its matching closer (and
+/// vice versa). Unbalanced delimiters are left `None` — the compiler
+/// is the authority on malformed input.
+pub fn match_delims(toks: &[Tok]) -> Vec<Option<usize>> {
+    let mut mat = vec![None; toks.len()];
+    let mut stack: Vec<(char, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Punct || t.text.len() != 1 {
+            continue;
+        }
+        let c = t.text.chars().next().expect("nonempty punct");
+        match c {
+            '(' | '[' | '{' => stack.push((c, i)),
+            ')' | ']' | '}' => {
+                let open = match c {
+                    ')' => '(',
+                    ']' => '[',
+                    _ => '{',
+                };
+                // Pop to the nearest matching opener, tolerating junk.
+                while let Some(&(oc, oi)) = stack.last() {
+                    stack.pop();
+                    if oc == open {
+                        mat[oi] = Some(i);
+                        mat[i] = Some(oi);
+                        break;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    mat
+}
+
+/// Starting at `toks[start]` (which must be just after a fn name or
+/// generic intro), find the index of the first token matching `pred`
+/// at angle-depth 0, stopping early at `stop` tokens. `->`/`=>` are
+/// fused by the tokenizer, so `<`/`>` counting is reliable in
+/// signature position.
+pub fn find_at_angle_depth0(
+    toks: &[Tok],
+    start: usize,
+    pred: impl Fn(&Tok) -> bool,
+    stop: impl Fn(&Tok) -> bool,
+) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = start;
+    while i < toks.len() {
+        let t = &toks[i];
+        if depth == 0 && pred(t) {
+            return Some(i);
+        }
+        if depth == 0 && stop(t) {
+            return None;
+        }
+        if t.is_punct("<") {
+            depth += 1;
+        } else if t.is_punct(">") {
+            depth = (depth - 1).max(0);
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Build the full parse for one file.
+pub struct Parsed {
+    /// Flat token stream.
+    pub toks: Vec<Tok>,
+    /// Delimiter matching table (same indexing as `toks`).
+    pub mat: Vec<Option<usize>>,
+}
+
+impl Parsed {
+    /// Parse the masked code of `lx`.
+    pub fn new(lx: &Lexed) -> Self {
+        let toks = tokenize(&lx.code);
+        let mat = match_delims(&toks);
+        Parsed { toks, mat }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        tokenize(&Lexed::new(src).code)
+    }
+
+    #[test]
+    fn tokenizer_fuses_paths_and_arrows() {
+        let t = toks("fn f(x: u32) -> Vec<u64> { a::b(x) }");
+        let texts: Vec<&str> = t.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.contains(&"->"));
+        assert!(texts.contains(&"::"));
+        // `>` stays single so nested generics close one level at a time.
+        let t2 = toks("fn g() -> Vec<Vec<u64>> {}");
+        let gt: Vec<&Tok> = t2.iter().filter(|t| t.is_punct(">")).collect();
+        assert_eq!(gt.len(), 2);
+    }
+
+    #[test]
+    fn delimiters_match_across_lines() {
+        let t = toks("fn f(\n  x: u32,\n) {\n  g(x);\n}\n");
+        let mat = match_delims(&t);
+        let open = t.iter().position(|t| t.is_punct("{")).expect("open brace");
+        let close = mat[open].expect("matched");
+        assert!(t[close].is_punct("}"));
+        assert_eq!(t[close].line, 4);
+    }
+
+    #[test]
+    fn angle_depth_walk_skips_generic_parens() {
+        // The param `(` of f is *after* the Fn(...) inside generics.
+        let t = toks("fn f<F: Fn(u32) -> u32>(g: F) -> u32 { g(1) }");
+        let name = t.iter().position(|t| t.is("f")).expect("name");
+        let popen = find_at_angle_depth0(
+            &t,
+            name + 1,
+            |t| t.is_punct("("),
+            |t| t.is_punct(";") || t.is_punct("{"),
+        )
+        .expect("param open");
+        // The found `(` must be the one before `g: F`.
+        assert!(t[popen + 1].is("g"));
+    }
+
+    #[test]
+    fn positions_are_zero_based_and_column_exact() {
+        let t = toks("  let x = 1;\n");
+        assert_eq!(t[0].text, "let");
+        assert_eq!((t[0].line, t[0].col), (0, 2));
+        assert_eq!(t[1].text, "x");
+        assert_eq!(t[1].col, 6);
+    }
+}

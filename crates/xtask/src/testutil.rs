@@ -1,0 +1,62 @@
+//! Seeded-violation workspace trees for rule tests.
+//!
+//! Every rule proves itself against a [`Tree`]: a throwaway on-disk
+//! mini-workspace seeded with exactly the violation (or non-violation)
+//! under test, linted through the same [`crate::lint_root`] entry
+//! point the CLI uses.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+use crate::diag::Violation;
+
+/// Process-wide counter so concurrent tests get distinct roots.
+/// (A `Mutex`, not an atomic: test scaffolding is not an audited sync
+/// module, and the linter holds itself to its own atomics rule.)
+static DIR_SEQ: Mutex<usize> = Mutex::new(0);
+
+/// A temporary mini-workspace rooted under the system temp dir;
+/// removed on drop.
+pub struct Tree {
+    /// Root directory of the seeded tree.
+    pub root: PathBuf,
+}
+
+impl Tree {
+    /// Create an empty tree.
+    pub fn new() -> Self {
+        let seq = {
+            let mut guard = DIR_SEQ.lock().expect("seq lock");
+            *guard += 1;
+            *guard
+        };
+        let root = std::env::temp_dir().join(format!("xtask-lint-{}-{seq}", std::process::id()));
+        fs::create_dir_all(&root).expect("create tree root");
+        Tree { root }
+    }
+
+    /// Write `content` at `rel`, creating parent directories.
+    pub fn write(&self, rel: &str, content: &str) {
+        let path = self.root.join(rel);
+        fs::create_dir_all(path.parent().expect("has parent")).expect("create parents");
+        fs::write(path, content).expect("write file");
+    }
+
+    /// Lint the tree; returns the active (unsuppressed) findings in
+    /// canonical order.
+    pub fn lint(&self) -> Vec<Violation> {
+        crate::lint_root(&self.root)
+    }
+}
+
+impl Drop for Tree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+/// The rule names of `vs`, in order — the usual test assertion.
+pub fn rules(vs: &[Violation]) -> Vec<&'static str> {
+    vs.iter().map(|v| v.rule).collect()
+}

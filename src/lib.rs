@@ -44,7 +44,6 @@
 //!            vec![1, 2, 2, 3, 4, 5, 7, 7]);
 //! ```
 
-#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use scan_algorithms as algorithms;
